@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks of the substrates.
+//!
+//! These are the measurements that calibrate the planner's cost model
+//! (§4.6 / §6 "Cost model"): BGV operations, MPC primitives, ZKP
+//! proving/verification, hashing, and sortition — each benchmarked on
+//! this platform, exactly as the paper benchmarks its building blocks on
+//! its reference servers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_field(c: &mut Criterion) {
+    use arboretum_field::ntt::NttTable;
+    use arboretum_field::primes::{BGV_Q1, BGV_Q_ROOTS};
+    use arboretum_field::Fp;
+    let mut g = c.benchmark_group("field");
+    let table = NttTable::<BGV_Q1>::new(4096, BGV_Q_ROOTS[0]);
+    let a: Vec<Fp<BGV_Q1>> = (0..4096u64).map(|i| Fp::new(i * 12_345 + 7)).collect();
+    g.bench_function("ntt_4096_forward", |b| {
+        b.iter_batched(
+            || a.clone(),
+            |mut x| table.forward_negacyclic(&mut x),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_sha(c: &mut Criterion) {
+    use arboretum_crypto::sha256::sha256;
+    let data = vec![0xabu8; 4096];
+    c.bench_function("sha256_4k", |b| {
+        b.iter(|| sha256(std::hint::black_box(&data)))
+    });
+}
+
+fn bench_bgv(c: &mut Criterion) {
+    use arboretum_bgv::{add, decrypt, encode_coeffs, encrypt, keygen, BgvContext, BgvParams};
+    let ctx = BgvContext::new(BgvParams::aggregation());
+    let mut rng = StdRng::seed_from_u64(1);
+    let (sk, pk) = keygen(&ctx, &mut rng);
+    let m = encode_coeffs(&ctx, &[1, 0, 1, 0]).unwrap();
+    let ct = encrypt(&ctx, &pk, &m, &mut rng);
+    let ct2 = encrypt(&ctx, &pk, &m, &mut rng);
+    let mut g = c.benchmark_group("bgv_n4096");
+    g.bench_function("encrypt", |b| {
+        b.iter(|| encrypt(&ctx, &pk, std::hint::black_box(&m), &mut rng))
+    });
+    g.bench_function("add", |b| {
+        b.iter(|| add(&ctx, &ct, std::hint::black_box(&ct2)))
+    });
+    g.bench_function("decrypt", |b| {
+        b.iter(|| decrypt(&ctx, &sk, std::hint::black_box(&ct)))
+    });
+    g.finish();
+}
+
+fn bench_mpc(c: &mut Criterion) {
+    use arboretum_field::FGold;
+    use arboretum_mpc::compare::less_than;
+    use arboretum_mpc::engine::MpcEngine;
+    let mut g = c.benchmark_group("mpc_m7");
+    g.bench_function("beaver_mul", |b| {
+        b.iter_batched(
+            || {
+                let mut e = MpcEngine::new(7, 3, true, 1);
+                let x = e.input(0, FGold::new(6));
+                let y = e.input(1, FGold::new(7));
+                (e, x, y)
+            },
+            |(mut e, x, y)| e.mul(&x, &y).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("compare_32bit", |b| {
+        b.iter_batched(
+            || {
+                let mut e = MpcEngine::new(7, 3, true, 1);
+                let x = e.input(0, FGold::new(123_456));
+                let y = e.input(1, FGold::new(654_321));
+                (e, x, y)
+            },
+            |(mut e, x, y)| less_than(&mut e, &x, &y, 32).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_zkp(c: &mut Criterion) {
+    use arboretum_crypto::pedersen::PedersenParams;
+    use arboretum_zkp::onehot::{prove_one_hot, verify_one_hot};
+    let pp = PedersenParams::standard();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut bits = vec![0u64; 16];
+    bits[5] = 1;
+    let proof = prove_one_hot(&pp, &bits, &mut rng).unwrap();
+    let mut g = c.benchmark_group("zkp");
+    g.bench_function("prove_one_hot_16", |b| {
+        b.iter(|| prove_one_hot(&pp, std::hint::black_box(&bits), &mut rng).unwrap())
+    });
+    g.bench_function("verify_one_hot_16", |b| {
+        b.iter(|| verify_one_hot(&pp, std::hint::black_box(&proof)))
+    });
+    g.finish();
+}
+
+fn bench_sortition(c: &mut Criterion) {
+    use arboretum_crypto::sha256::sha256;
+    use arboretum_sortition::select::{select_committees, Device, Registry};
+    use arboretum_sortition::size::{min_committee_size, SortitionParams};
+    let registry = Registry::new((0..1000u64).map(Device::from_id).collect());
+    let block = sha256(b"bench");
+    let mut g = c.benchmark_group("sortition");
+    g.bench_function("select_1000_devices", |b| {
+        b.iter(|| select_committees(&registry, &block, 1, 4, 10))
+    });
+    g.bench_function("committee_size_c100k", |b| {
+        b.iter(|| min_committee_size(100_000, &SortitionParams::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_field,
+    bench_sha,
+    bench_bgv,
+    bench_mpc,
+    bench_zkp,
+    bench_sortition
+);
+criterion_main!(benches);

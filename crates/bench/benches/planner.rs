@@ -1,0 +1,29 @@
+//! Criterion benchmark of the query planner itself (Figure 9's subject).
+
+use arboretum_planner::logical::extract;
+use arboretum_planner::search::{plan, PlannerConfig};
+use arboretum_queries::corpus::{all_queries, top1};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_planner(c: &mut Criterion) {
+    let n = 1u64 << 26;
+    let mut g = c.benchmark_group("planner");
+    g.sample_size(10);
+    for q in all_queries(n) {
+        let lp = extract(&q.program(), &q.schema, q.certify).unwrap();
+        let cfg = PlannerConfig::paper_defaults(n);
+        g.bench_function(q.name, |b| b.iter(|| plan(&lp, &cfg).unwrap()));
+    }
+    // The §7.3 ablation: heuristics off.
+    let q = top1(n, 1 << 12);
+    let lp = extract(&q.program(), &q.schema, q.certify).unwrap();
+    let mut cfg = PlannerConfig::paper_defaults(n);
+    cfg.use_heuristics = false;
+    g.bench_function("top1_no_heuristics", |b| {
+        b.iter(|| plan(&lp, &cfg).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

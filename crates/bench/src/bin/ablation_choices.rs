@@ -1,0 +1,80 @@
+//! Design-choice ablations: the tradeoffs DESIGN.md calls out.
+//!
+//! Sweeps the planner's per-operator knobs one at a time — sum-tree
+//! fanout, noise batch size, argmax fanout — holding the rest of the
+//! plan fixed, and prints how each choice moves the six metrics. This is
+//! the tradeoff structure §4.3 describes ("larger degrees require fewer
+//! committees ... lower degrees lead to a lower maximum cost").
+
+use arboretum_planner::cost::CostModel;
+use arboretum_planner::plan::{vignette, vignette_metrics, Location, PhysOp, Scheme};
+
+fn main() {
+    let cm = CostModel::default();
+    let n = 1u64 << 30;
+    let c = 1u64 << 15;
+    let m = 40;
+
+    println!("Sum-tree fanout (participants summing ciphertext groups):");
+    println!(
+        "{:>8} {:>14} {:>16} {:>14}",
+        "fanout", "agg fwd (TB)", "exp part (ms)", "max part (ms)"
+    );
+    for fanout in [4u64, 16, 64, 256, 1024] {
+        let v = vignette(
+            PhysOp::SumTree { fanout },
+            Location::Participants(n / fanout),
+            Scheme::Ahe,
+        );
+        let mx = vignette_metrics(&v, &cm, n, c, m);
+        println!(
+            "{:>8} {:>14.1} {:>16.3} {:>14.1}",
+            fanout,
+            mx.agg_bytes / 1e12,
+            mx.part_exp_secs * 1e3,
+            mx.part_max_secs * 1e3
+        );
+    }
+
+    println!("\nGumbel-noise batch size (samples per committee):");
+    println!(
+        "{:>8} {:>12} {:>16} {:>14}",
+        "batch", "committees", "exp part (s)", "max part (min)"
+    );
+    for batch in [1u64, 4, 16, 64] {
+        let op = PhysOp::NoiseGen {
+            gumbel: true,
+            batch,
+        };
+        let committees = op.committees(c);
+        let v = vignette(op, Location::Committees(committees), Scheme::Shares);
+        let mx = vignette_metrics(&v, &cm, n, c, m);
+        println!(
+            "{:>8} {:>12} {:>16.3} {:>14.1}",
+            batch,
+            committees,
+            mx.part_exp_secs,
+            mx.part_max_secs / 60.0
+        );
+    }
+
+    println!("\nArgmax tree fanout (scores per committee):");
+    println!(
+        "{:>8} {:>12} {:>16} {:>14}",
+        "fanout", "committees", "exp part (s)", "max part (s)"
+    );
+    for fanout in [2u64, 3, 5, 9, 17, 33] {
+        let op = PhysOp::ArgMaxTree { fanout, passes: 1 };
+        let committees = op.committees(c);
+        let v = vignette(op, Location::Committees(committees), Scheme::Shares);
+        let mx = vignette_metrics(&v, &cm, n, c, m);
+        println!(
+            "{:>8} {:>12} {:>16.4} {:>14.1}",
+            fanout, committees, mx.part_exp_secs, mx.part_max_secs
+        );
+    }
+
+    println!("\nReading: larger fanouts/batches amortize committee setup");
+    println!("(expected cost falls) but concentrate work (max cost rises) —");
+    println!("the planner picks per query, per metric, per analyst limit.");
+}

@@ -1,0 +1,30 @@
+//! Regenerates Figure 10: scalability under aggregator limits.
+
+use arboretum_bench::figures::fig10_points;
+
+fn main() {
+    println!("Figure 10: top1 scalability, N = 2^17 .. 2^30, A in {{1000, 5000, inf}} core-hours");
+    println!(
+        "{:>7} {:>9} {:>12} {:>14} {:>14} {:>11}",
+        "log2 N", "A (c-h)", "Aggr. (c-h)", "Exp. (min)", "Max (min)", "Outsourced"
+    );
+    for p in fig10_points(1 << 12) {
+        println!(
+            "{:>7} {:>9} {:>12} {:>14} {:>14} {:>11}",
+            p.log2_n,
+            p.limit_core_hours
+                .map(|h| format!("{h:.0}"))
+                .unwrap_or_else(|| "inf".into()),
+            p.agg_hours
+                .map(|h| format!("{h:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            p.exp_part_mins
+                .map(|m| format!("{m:.3}"))
+                .unwrap_or_else(|| "-".into()),
+            p.max_part_mins
+                .map(|m| format!("{m:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            if p.outsourced_sum { "sum-tree" } else { "" },
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 11: power consumption on a Pi-class device.
+
+use arboretum_bench::figures::{fig11_rows, PAPER_N};
+
+fn main() {
+    println!("Figure 11: worst-case committee energy per query (Pi-class device)");
+    println!(
+        "{:<12} {:>14} {:>18}",
+        "Query", "Energy (mAh)", "5% battery (mAh)"
+    );
+    for r in fig11_rows(PAPER_N) {
+        let flag = if r.worst_role_mah < r.five_percent_mah {
+            ""
+        } else {
+            "  << OVER!"
+        };
+        println!(
+            "{:<12} {:>14.1} {:>18.1}{flag}",
+            r.query, r.worst_role_mah, r.five_percent_mah
+        );
+    }
+}

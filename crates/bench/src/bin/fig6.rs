@@ -1,0 +1,22 @@
+//! Regenerates Figure 6: expected per-participant bandwidth/computation.
+
+use arboretum_bench::figures::{fig6_rows, PAPER_N};
+
+fn main() {
+    println!("Figure 6: expected per-participant cost, N = 2^30");
+    println!(
+        "{:<12} {:>14} {:>14} {:>18}",
+        "Query", "Exp. sent", "Exp. comp.", "Original system"
+    );
+    for r in fig6_rows(PAPER_N) {
+        println!(
+            "{:<12} {:>11.2} MB {:>12.1} s {:>18}",
+            r.query,
+            r.exp_bytes / 1e6,
+            r.exp_secs,
+            r.original_exp_bytes
+                .map(|b| format!("{:.2} MB", b / 1e6))
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 7: committee-member costs by committee type.
+
+use arboretum_bench::figures::{fig7_rows, PAPER_N};
+
+fn main() {
+    println!("Figure 7: per-member committee costs, N = 2^30");
+    println!(
+        "{:<12} {:>20} {:>20} {:>20} {:>10} {:>6}",
+        "Query", "KeyGen (MB/min)", "Decrypt (MB/min)", "Ops (MB/min)", "Serving %", "m"
+    );
+    for r in fig7_rows(PAPER_N) {
+        let fmt = |x: Option<(f64, f64)>| {
+            x.map(|(bytes, secs)| format!("{:.0}/{:.1}", bytes / 1e6, secs / 60.0))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<12} {:>20} {:>20} {:>20} {:>10.5} {:>6}",
+            r.query,
+            fmt(r.keygen),
+            fmt(r.decryption),
+            fmt(r.operations),
+            r.serving_fraction * 100.0,
+            r.committee_size
+        );
+    }
+}

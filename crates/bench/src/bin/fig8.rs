@@ -1,0 +1,20 @@
+//! Regenerates Figure 8: aggregator bandwidth and computation.
+
+use arboretum_bench::figures::{fig8_rows, PAPER_N};
+
+fn main() {
+    println!("Figure 8: aggregator cost, N = 2^30 (computation assumes 1,000 cores)");
+    println!(
+        "{:<12} {:>14} {:>16} {:>18}",
+        "Query", "Sent (TB)", "Comp. (hours)", "of which verify"
+    );
+    for r in fig8_rows(PAPER_N) {
+        println!(
+            "{:<12} {:>14.1} {:>16.2} {:>18.2}",
+            r.query,
+            r.bytes_sent / 1e12,
+            r.compute_core_secs / 3600.0 / 1000.0,
+            r.verification_core_secs / 3600.0 / 1000.0,
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 9: runtime of the query planner.
+
+use arboretum_bench::figures::{fig9_rows, PAPER_N};
+
+fn main() {
+    println!("Figure 9: planner runtime per query");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "Query", "Time (s)", "Prefixes", "Candidates"
+    );
+    for r in fig9_rows(PAPER_N) {
+        println!(
+            "{:<12} {:>12.4} {:>12} {:>12}",
+            r.query, r.planner_secs, r.prefixes, r.candidates
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates the §7.5 heterogeneity experiments.
+
+use arboretum_bench::heterogeneity::gumbel_experiment;
+
+fn main() {
+    println!("Section 7.5: heterogeneity effects on the Gumbel-noise MPC (42 parties)");
+    let r = gumbel_experiment(42, 4, 1.51);
+    println!(
+        "concrete MPC: {} rounds, {} field multiplications",
+        r.rounds, r.mults
+    );
+    println!();
+    println!("{:<28} {:>12} {:>12}", "Condition", "Time (s)", "Increase");
+    println!(
+        "{:<28} {:>12.1} {:>12}",
+        "LAN (paper: 73.8 s)", r.lan_secs, "-"
+    );
+    println!(
+        "{:<28} {:>12.1} {:>11.0}%",
+        "Geo-distributed (paper: +606%)",
+        r.wan_secs,
+        r.wan_increase_pct()
+    );
+    println!(
+        "{:<28} {:>12.1} {:>11.0}%",
+        "4 slow parties (paper: +51%)",
+        r.slow_secs,
+        r.slow_increase_pct()
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates Table 1: approaches for queries with 10^8 participants.
+
+use arboretum_bench::figures::table1_rows;
+
+fn main() {
+    println!("Table 1: zip-code top-1 query, N = 10^8, C = 41,683");
+    println!(
+        "{:<16} {:>16} {:>18} {:>18} {:>12}",
+        "Approach", "Aggr. comp.", "Part. bw (typ.)", "Part. bw (worst)", "Feasible"
+    );
+    for r in table1_rows() {
+        println!(
+            "{:<16} {:>16} {:>18} {:>18} {:>12}",
+            r.approach,
+            human_secs(r.cost.agg_secs),
+            human_bytes(r.cost.participant_bytes_typical),
+            human_bytes(r.cost.participant_bytes_worst),
+            if r.cost.feasible { "yes" } else { "NO" },
+        );
+    }
+}
+
+fn human_secs(s: f64) -> String {
+    if s > 365.25 * 24.0 * 3600.0 {
+        format!("{:.1} years", s / (365.25 * 24.0 * 3600.0))
+    } else if s > 3600.0 {
+        format!("{:.1} hours", s / 3600.0)
+    } else {
+        format!("{s:.1} s")
+    }
+}
+
+fn human_bytes(b: f64) -> String {
+    if b >= 1e15 {
+        format!("{:.1} PB", b / 1e15)
+    } else if b >= 1e12 {
+        format!("{:.1} TB", b / 1e12)
+    } else if b >= 1e9 {
+        format!("{:.1} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.1} MB", b / 1e6)
+    } else {
+        format!("{:.0} kB", b / 1e3)
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 2: supported queries.
+
+use arboretum_bench::figures::table2_rows;
+
+fn main() {
+    println!("Table 2: supported queries");
+    println!(
+        "{:<12} {:<28} {:>6} {:>12} {:>6}",
+        "Query", "Action", "Lines", "Paper lines", "New?"
+    );
+    for r in table2_rows() {
+        println!(
+            "{:<12} {:<28} {:>6} {:>12} {:>6}",
+            r.query,
+            r.action,
+            r.lines,
+            r.paper_lines,
+            if r.is_new { "yes" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates the cost-model validation table ([44, §C]).
+
+use arboretum_bench::validation::validation_rows;
+
+fn main() {
+    println!("Cost-model validation: concrete MPC metering vs model prediction");
+    println!(
+        "{:<20} {:>8} {:>10} {:>8} {:>10} {:>8} {:>8}",
+        "Protocol", "rounds", "pred", "ratio", "bytes", "pred", "ratio"
+    );
+    for r in validation_rows() {
+        println!(
+            "{:<20} {:>8} {:>10} {:>8.2} {:>10} {:>8} {:>8.2}",
+            r.protocol,
+            r.rounds,
+            r.predicted_rounds,
+            r.round_ratio(),
+            r.bytes,
+            r.predicted_bytes,
+            r.byte_ratio()
+        );
+    }
+}

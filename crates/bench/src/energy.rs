@@ -1,0 +1,113 @@
+//! Energy model for battery-powered committee members (Figure 11).
+//!
+//! The paper measures MPC power draw on a Raspberry Pi 4 with a USB
+//! power meter and compares against 5% of a 2022 iPhone SE battery
+//! (1,624 mAh). We model the same quantity from the cost model's
+//! per-member compute seconds and traffic: the Pi runs the reference
+//! workload ~7.8× slower (the paper's RSA microbenchmark: 767 µs server
+//! vs 6 ms Pi) at ~3 W active draw on a 5 V rail, plus radio energy per
+//! transmitted byte.
+
+/// Parameters of the device energy model.
+///
+/// Two regimes matter. *Compute-bound* work (encryption, ZK proving)
+/// runs ~7.8× slower on the Pi (§7.5's RSA microbenchmark) at the full
+/// CPU power delta. *Communication-bound* MPC is only ~1.5× slower
+/// (§7.5's measured +51% with Pi parties) and the CPU is mostly waiting
+/// on network rounds, so the idle-subtracted power delta is small —
+/// which is how the paper's 100-minute committees still land under 5%
+/// of a phone battery in Figure 11.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// Slowdown for compute-bound work (§7.5: 767 µs vs 6 ms ≈ 7.8×).
+    pub compute_slowdown: f64,
+    /// Idle-subtracted current for compute-bound work, mA (≈ 3.3 W at
+    /// 5 V).
+    pub compute_ma: f64,
+    /// Slowdown for communication-bound MPC (§7.5: +51% ≈ 1.51×).
+    pub mpc_slowdown: f64,
+    /// Idle-subtracted current during MPC, mA (mostly network waits).
+    pub mpc_ma: f64,
+    /// Radio energy in mAh per MB sent (Wi-Fi-class).
+    pub mah_per_mb: f64,
+    /// Battery capacity in mAh (2022 iPhone SE: 1,624 mAh).
+    pub battery_mah: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            compute_slowdown: 6.0e-3 / 767.0e-6,
+            compute_ma: 660.0,
+            mpc_slowdown: 1.51,
+            mpc_ma: 60.0,
+            mah_per_mb: 0.005,
+            battery_mah: 1624.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy in mAh for a committee role costing `server_secs` of
+    /// reference (communication-bound MPC) time and `bytes` of traffic.
+    pub fn role_mah(&self, server_secs: f64, bytes: f64) -> f64 {
+        let device_secs = server_secs * self.mpc_slowdown;
+        device_secs / 3600.0 * self.mpc_ma + bytes / 1.0e6 * self.mah_per_mb
+    }
+
+    /// The Figure 11 reference line: 5% of the battery.
+    pub fn five_percent(&self) -> f64 {
+        0.05 * self.battery_mah
+    }
+
+    /// The paper's measured baseline for non-committee work (ZK proof +
+    /// encryption, compute-bound): about 6 mAh.
+    pub fn base_cost_mah(&self, encrypt_secs: f64, prove_secs: f64, upload_bytes: f64) -> f64 {
+        let device_secs = (encrypt_secs + prove_secs) * self.compute_slowdown;
+        device_secs / 3600.0 * self.compute_ma + upload_bytes / 1.0e6 * self.mah_per_mb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdowns_match_paper_ratios() {
+        let m = EnergyModel::default();
+        assert!(
+            (m.compute_slowdown - 7.8).abs() < 0.1,
+            "{}",
+            m.compute_slowdown
+        );
+        assert!((m.mpc_slowdown - 1.51).abs() < 0.01, "{}", m.mpc_slowdown);
+    }
+
+    #[test]
+    fn keygen_committee_under_five_percent() {
+        // Figure 7: keygen ≈ 840 server-seconds and 700 MB. Figure 11
+        // shows every query below the 5% line.
+        let m = EnergyModel::default();
+        let mah = m.role_mah(840.0, 700.0e6);
+        assert!(mah < m.five_percent(), "{mah} vs {}", m.five_percent());
+        // But it is non-trivial: tens of mAh.
+        assert!(mah > 10.0, "{mah}");
+    }
+
+    #[test]
+    fn base_cost_is_single_digit_mah() {
+        // §7.4: "The basic cost without committee service, for the ZK
+        // proof and the encryption, was 6 mAh."
+        let m = EnergyModel::default();
+        // Encrypt ~0.1 s + prove ~2 s on the server, ~1.2 MB upload.
+        let mah = m.base_cost_mah(0.08, 1.9, 1.2e6);
+        assert!((1.0..10.0).contains(&mah), "{mah}");
+    }
+
+    #[test]
+    fn energy_scales_with_work() {
+        let m = EnergyModel::default();
+        assert!(m.role_mah(100.0, 1e6) < m.role_mah(200.0, 1e6));
+        assert!(m.role_mah(100.0, 1e6) < m.role_mah(100.0, 1e9));
+    }
+}

@@ -1,0 +1,19 @@
+//! Benchmark harnesses for the paper's evaluation (§7).
+//!
+//! * [`figures`] — regenerates the data behind every table and figure
+//!   (Table 1/2, Figures 6–11) from the planner, cost model, and
+//!   baselines; each binary in `src/bin/` prints one of them.
+//! * [`energy`] — the Figure 11 battery-energy model.
+//! * [`heterogeneity`] — the §7.5 geo-distribution and slow-device
+//!   experiments, run concretely on the MPC simulator.
+//!
+//! Criterion micro-benchmarks of the substrates (the inputs to the cost
+//! model calibration) live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod figures;
+pub mod heterogeneity;
+pub mod validation;

@@ -1,0 +1,296 @@
+//! RNS polynomial arithmetic in `Z_q[x]/(x^n + 1)`.
+//!
+//! A polynomial is stored as one residue row per RNS prime; ring
+//! operations act row-wise, with NTT-based multiplication per prime. CRT
+//! composition (Garner's algorithm) reconstructs `u128` coefficients for
+//! the two operations that need the full modulus: relinearization digit
+//! decomposition and noise measurement.
+
+use arboretum_field::zq::{add_mod, inv_mod, mul_mod, neg_mod, sub_mod, RtNttTable};
+
+use crate::params::BgvParams;
+
+/// Precomputed per-parameter-set state: NTT tables and CRT constants.
+#[derive(Debug, Clone)]
+pub struct BgvContext {
+    /// The validated parameters.
+    pub params: BgvParams,
+    /// One NTT table per RNS prime.
+    pub ntts: Vec<RtNttTable>,
+    /// Garner constant `q_0^{-1} mod q_1` (two-prime case).
+    garner_inv: Option<u64>,
+}
+
+impl BgvContext {
+    /// Builds the context for a parameter set.
+    pub fn new(params: BgvParams) -> Self {
+        let ntts = params
+            .moduli
+            .iter()
+            .zip(&params.roots)
+            .map(|(&q, &r)| RtNttTable::new(params.n, q, r))
+            .collect();
+        let garner_inv = if params.moduli.len() == 2 {
+            Some(inv_mod(
+                params.moduli[0] % params.moduli[1],
+                params.moduli[1],
+            ))
+        } else {
+            None
+        };
+        Self {
+            params,
+            ntts,
+            garner_inv,
+        }
+    }
+
+    /// Ring degree.
+    pub fn n(&self) -> usize {
+        self.params.n
+    }
+
+    /// CRT-composes per-prime residues of one coefficient into `u128`.
+    pub fn compose(&self, residues: &[u64]) -> u128 {
+        match residues.len() {
+            1 => residues[0] as u128,
+            2 => {
+                // Garner: x = x0 + q0 * ((x1 - x0) * q0^{-1} mod q1).
+                let q0 = self.params.moduli[0];
+                let q1 = self.params.moduli[1];
+                let x0 = residues[0];
+                let x1 = residues[1];
+                let diff = sub_mod(x1 % q1, x0 % q1, q1);
+                let t = mul_mod(diff, self.garner_inv.expect("two-prime context"), q1);
+                x0 as u128 + q0 as u128 * t as u128
+            }
+            k => panic!("unsupported RNS prime count {k}"),
+        }
+    }
+
+    /// Reduces a `u128` into per-prime residues.
+    pub fn decompose(&self, x: u128) -> Vec<u64> {
+        self.params
+            .moduli
+            .iter()
+            .map(|&q| (x % q as u128) as u64)
+            .collect()
+    }
+}
+
+/// An element of `Z_q[x]/(x^n + 1)` in RNS representation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RnsPoly {
+    /// `rows[i][j]` is coefficient `j` modulo `moduli[i]`.
+    pub rows: Vec<Vec<u64>>,
+}
+
+impl RnsPoly {
+    /// The zero polynomial.
+    pub fn zero(ctx: &BgvContext) -> Self {
+        Self {
+            rows: ctx
+                .params
+                .moduli
+                .iter()
+                .map(|_| vec![0u64; ctx.n()])
+                .collect(),
+        }
+    }
+
+    /// Builds from signed coefficients (e.g. secrets and errors).
+    pub fn from_signed(ctx: &BgvContext, coeffs: &[i64]) -> Self {
+        assert_eq!(coeffs.len(), ctx.n(), "coefficient count mismatch");
+        let rows = ctx
+            .params
+            .moduli
+            .iter()
+            .map(|&q| {
+                coeffs
+                    .iter()
+                    .map(|&c| {
+                        if c >= 0 {
+                            c as u64 % q
+                        } else {
+                            neg_mod(c.unsigned_abs() % q, q)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { rows }
+    }
+
+    /// Builds from unsigned coefficients already below every modulus... or
+    /// reduced per prime.
+    pub fn from_unsigned(ctx: &BgvContext, coeffs: &[u64]) -> Self {
+        assert_eq!(coeffs.len(), ctx.n(), "coefficient count mismatch");
+        let rows = ctx
+            .params
+            .moduli
+            .iter()
+            .map(|&q| coeffs.iter().map(|&c| c % q).collect())
+            .collect();
+        Self { rows }
+    }
+
+    /// Pointwise (ring) addition.
+    pub fn add(&self, other: &Self, ctx: &BgvContext) -> Self {
+        self.zip_with(other, ctx, add_mod)
+    }
+
+    /// Pointwise subtraction.
+    pub fn sub(&self, other: &Self, ctx: &BgvContext) -> Self {
+        self.zip_with(other, ctx, sub_mod)
+    }
+
+    /// Negation.
+    pub fn neg(&self, ctx: &BgvContext) -> Self {
+        let rows = self
+            .rows
+            .iter()
+            .zip(&ctx.params.moduli)
+            .map(|(row, &q)| row.iter().map(|&c| neg_mod(c, q)).collect())
+            .collect();
+        Self { rows }
+    }
+
+    /// Ring multiplication via per-prime negacyclic NTT.
+    pub fn mul(&self, other: &Self, ctx: &BgvContext) -> Self {
+        let rows = self
+            .rows
+            .iter()
+            .zip(&other.rows)
+            .zip(&ctx.ntts)
+            .map(|((a, b), ntt)| ntt.negacyclic_mul(a, b))
+            .collect();
+        Self { rows }
+    }
+
+    /// Multiplication by an unsigned scalar.
+    pub fn scale(&self, k: u64, ctx: &BgvContext) -> Self {
+        let rows = self
+            .rows
+            .iter()
+            .zip(&ctx.params.moduli)
+            .map(|(row, &q)| {
+                let kq = k % q;
+                row.iter().map(|&c| mul_mod(c, kq, q)).collect()
+            })
+            .collect();
+        Self { rows }
+    }
+
+    /// CRT-composes every coefficient to its centered `i128` value
+    /// (in `(-q/2, q/2]`).
+    pub fn centered_coeffs(&self, ctx: &BgvContext) -> Vec<i128> {
+        let q = ctx.params.q();
+        let half = q / 2;
+        (0..ctx.n())
+            .map(|j| {
+                let residues: Vec<u64> = self.rows.iter().map(|r| r[j]).collect();
+                let x = ctx.compose(&residues);
+                if x > half {
+                    -((q - x) as i128)
+                } else {
+                    x as i128
+                }
+            })
+            .collect()
+    }
+
+    fn zip_with(&self, other: &Self, ctx: &BgvContext, f: fn(u64, u64, u64) -> u64) -> Self {
+        let rows = self
+            .rows
+            .iter()
+            .zip(&other.rows)
+            .zip(&ctx.params.moduli)
+            .map(|((a, b), &q)| a.iter().zip(b).map(|(&x, &y)| f(x, y, q)).collect())
+            .collect();
+        Self { rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BgvParams;
+
+    fn ctx() -> BgvContext {
+        BgvContext::new(BgvParams::test_small())
+    }
+
+    #[test]
+    fn compose_decompose_roundtrip() {
+        let c = ctx();
+        for x in [0u128, 1, 12_345, 1 << 80, c.params.q() - 1] {
+            let r = c.decompose(x);
+            assert_eq!(c.compose(&r), x, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let c = ctx();
+        let a = RnsPoly::from_signed(&c, &vec![7i64; c.n()]);
+        let b = RnsPoly::from_signed(&c, &vec![-3i64; c.n()]);
+        assert_eq!(a.add(&b, &c).sub(&b, &c), a);
+    }
+
+    #[test]
+    fn signed_roundtrip_through_centered() {
+        let c = ctx();
+        let mut coeffs = vec![0i64; c.n()];
+        coeffs[0] = -5;
+        coeffs[1] = 42;
+        coeffs[2] = -1_000_000;
+        let p = RnsPoly::from_signed(&c, &coeffs);
+        let back = p.centered_coeffs(&c);
+        assert_eq!(back[0], -5);
+        assert_eq!(back[1], 42);
+        assert_eq!(back[2], -1_000_000);
+        assert!(back[3..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn mul_matches_small_example() {
+        // (1 + x) * (1 - x) = 1 - x^2.
+        let c = ctx();
+        let mut a = vec![0i64; c.n()];
+        let mut b = vec![0i64; c.n()];
+        a[0] = 1;
+        a[1] = 1;
+        b[0] = 1;
+        b[1] = -1;
+        let p = RnsPoly::from_signed(&c, &a).mul(&RnsPoly::from_signed(&c, &b), &c);
+        let got = p.centered_coeffs(&c);
+        assert_eq!(got[0], 1);
+        assert_eq!(got[1], 0);
+        assert_eq!(got[2], -1);
+    }
+
+    #[test]
+    fn negacyclic_identity() {
+        // x^{n-1} * x = -1 in the ring.
+        let c = ctx();
+        let mut a = vec![0i64; c.n()];
+        let mut b = vec![0i64; c.n()];
+        a[c.n() - 1] = 1;
+        b[1] = 1;
+        let p = RnsPoly::from_signed(&c, &a).mul(&RnsPoly::from_signed(&c, &b), &c);
+        let got = p.centered_coeffs(&c);
+        assert_eq!(got[0], -1);
+        assert!(got[1..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn scale_matches_repeated_add() {
+        let c = ctx();
+        let a = RnsPoly::from_signed(&c, &vec![3i64; c.n()]);
+        let mut acc = RnsPoly::zero(&c);
+        for _ in 0..5 {
+            acc = acc.add(&a, &c);
+        }
+        assert_eq!(a.scale(5, &c), acc);
+    }
+}

@@ -1,0 +1,394 @@
+//! The BGV cryptosystem: key generation, encryption, and evaluation.
+//!
+//! Implements the Brakerski–Gentry–Vaikuntanathan scheme over the RNS
+//! polynomial ring from [`crate::poly`]:
+//!
+//! * keys: ternary secret `s`; public key `(b, a)` with `b = -(a·s) + t·e`;
+//! * encryption of `m ∈ R_t`: `(c0, c1) = (b·u + t·e0 + m, a·u + t·e1)`;
+//! * decryption: `m = (c0 + c1·s mod q) mod t` with centered reduction;
+//! * homomorphic addition, plaintext multiplication, and one level of
+//!   ciphertext multiplication with gadget-decomposition relinearization.
+
+use rand::Rng;
+
+use crate::poly::{BgvContext, RnsPoly};
+
+/// A BGV secret key.
+#[derive(Clone, Debug)]
+pub struct SecretKey {
+    /// Ternary secret coefficients.
+    pub s: Vec<i64>,
+    /// `s` in RNS form.
+    pub s_rns: RnsPoly,
+    /// `s²` in RNS form (cached for relin-key generation).
+    s2_rns: RnsPoly,
+}
+
+/// A BGV public key `(b, a)`.
+#[derive(Clone, Debug)]
+pub struct PublicKey {
+    /// `b = -(a·s) + t·e`.
+    pub b: RnsPoly,
+    /// Uniform ring element.
+    pub a: RnsPoly,
+}
+
+/// A relinearization (key-switching) key for `s² → s`.
+#[derive(Clone, Debug)]
+pub struct RelinKey {
+    /// Per gadget digit `j`: `b_j = -(a_j·s) + t·e_j + w^j·s²`.
+    pub b: Vec<RnsPoly>,
+    /// Per gadget digit `j`: uniform `a_j`.
+    pub a: Vec<RnsPoly>,
+}
+
+/// A BGV ciphertext `(c0, c1)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ciphertext {
+    /// The `c0` component.
+    pub c0: RnsPoly,
+    /// The `c1` component.
+    pub c1: RnsPoly,
+}
+
+fn sample_ternary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(-1i64..=1)).collect()
+}
+
+fn sample_error<R: Rng + ?Sized>(n: usize, bound: u32, rng: &mut R) -> Vec<i64> {
+    // Centered binomial: difference of two `bound`-bit popcounts, giving
+    // variance `bound / 2` and support `[-bound, bound]`.
+    (0..n)
+        .map(|_| {
+            let a: u32 = rng.gen::<u32>() & ((1u32 << bound) - 1);
+            let b: u32 = rng.gen::<u32>() & ((1u32 << bound) - 1);
+            a.count_ones() as i64 - b.count_ones() as i64
+        })
+        .collect()
+}
+
+fn sample_uniform<R: Rng + ?Sized>(ctx: &BgvContext, rng: &mut R) -> RnsPoly {
+    let rows = ctx
+        .params
+        .moduli
+        .iter()
+        .map(|&q| (0..ctx.n()).map(|_| rng.gen_range(0..q)).collect())
+        .collect();
+    RnsPoly { rows }
+}
+
+/// Generates a BGV keypair.
+pub fn keygen<R: Rng + ?Sized>(ctx: &BgvContext, rng: &mut R) -> (SecretKey, PublicKey) {
+    let s = sample_ternary(ctx.n(), rng);
+    let s_rns = RnsPoly::from_signed(ctx, &s);
+    let s2_rns = s_rns.mul(&s_rns, ctx);
+    let a = sample_uniform(ctx, rng);
+    let e = RnsPoly::from_signed(ctx, &sample_error(ctx.n(), ctx.params.error_bound, rng));
+    let b = a
+        .mul(&s_rns, ctx)
+        .neg(ctx)
+        .add(&e.scale(ctx.params.t, ctx), ctx);
+    (SecretKey { s, s_rns, s2_rns }, PublicKey { b, a })
+}
+
+/// Generates the relinearization key for one multiplication level.
+pub fn relin_keygen<R: Rng + ?Sized>(ctx: &BgvContext, sk: &SecretKey, rng: &mut R) -> RelinKey {
+    let digits = ctx.params.relin_digits();
+    let w_bits = ctx.params.relin_base_bits;
+    let mut bs = Vec::with_capacity(digits);
+    let mut as_ = Vec::with_capacity(digits);
+    for j in 0..digits {
+        let a_j = sample_uniform(ctx, rng);
+        let e_j = RnsPoly::from_signed(ctx, &sample_error(ctx.n(), ctx.params.error_bound, rng));
+        // w^j · s², scaled per RNS prime.
+        let mut wj_s2 = sk.s2_rns.clone();
+        for (row, &q) in wj_s2.rows.iter_mut().zip(&ctx.params.moduli) {
+            let wj = arboretum_field::zq::pow_mod(1u64 << w_bits, j as u64, q);
+            for c in row.iter_mut() {
+                *c = arboretum_field::zq::mul_mod(*c, wj, q);
+            }
+        }
+        let b_j = a_j
+            .mul(&sk.s_rns, ctx)
+            .neg(ctx)
+            .add(&e_j.scale(ctx.params.t, ctx), ctx)
+            .add(&wj_s2, ctx);
+        bs.push(b_j);
+        as_.push(a_j);
+    }
+    RelinKey { b: bs, a: as_ }
+}
+
+/// Encrypts a plaintext polynomial (coefficients reduced mod `t`).
+pub fn encrypt<R: Rng + ?Sized>(
+    ctx: &BgvContext,
+    pk: &PublicKey,
+    m: &RnsPoly,
+    rng: &mut R,
+) -> Ciphertext {
+    let t = ctx.params.t;
+    let u = RnsPoly::from_signed(ctx, &sample_ternary(ctx.n(), rng));
+    let e0 = RnsPoly::from_signed(ctx, &sample_error(ctx.n(), ctx.params.error_bound, rng));
+    let e1 = RnsPoly::from_signed(ctx, &sample_error(ctx.n(), ctx.params.error_bound, rng));
+    let c0 = pk.b.mul(&u, ctx).add(&e0.scale(t, ctx), ctx).add(m, ctx);
+    let c1 = pk.a.mul(&u, ctx).add(&e1.scale(t, ctx), ctx);
+    Ciphertext { c0, c1 }
+}
+
+/// Decrypts a ciphertext to its plaintext coefficients in `[0, t)`.
+pub fn decrypt(ctx: &BgvContext, sk: &SecretKey, ct: &Ciphertext) -> Vec<u64> {
+    let t = ctx.params.t as i128;
+    let d = ct.c0.add(&ct.c1.mul(&sk.s_rns, ctx), ctx);
+    d.centered_coeffs(ctx)
+        .into_iter()
+        .map(|c| (((c % t) + t) % t) as u64)
+        .collect()
+}
+
+/// Homomorphic addition.
+pub fn add(ctx: &BgvContext, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+    Ciphertext {
+        c0: a.c0.add(&b.c0, ctx),
+        c1: a.c1.add(&b.c1, ctx),
+    }
+}
+
+/// Homomorphic subtraction.
+pub fn sub(ctx: &BgvContext, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+    Ciphertext {
+        c0: a.c0.sub(&b.c0, ctx),
+        c1: a.c1.sub(&b.c1, ctx),
+    }
+}
+
+/// Multiplication by an unencrypted scalar.
+pub fn mul_scalar(ctx: &BgvContext, a: &Ciphertext, k: u64) -> Ciphertext {
+    Ciphertext {
+        c0: a.c0.scale(k, ctx),
+        c1: a.c1.scale(k, ctx),
+    }
+}
+
+/// Multiplication by an unencrypted plaintext polynomial.
+pub fn mul_plain(ctx: &BgvContext, a: &Ciphertext, m: &RnsPoly) -> Ciphertext {
+    Ciphertext {
+        c0: a.c0.mul(m, ctx),
+        c1: a.c1.mul(m, ctx),
+    }
+}
+
+/// Homomorphic ciphertext multiplication with relinearization.
+///
+/// Computes the degree-2 tensor product and immediately key-switches the
+/// `s²` component back to `s` using `rlk`, so the result is a standard
+/// two-component ciphertext.
+pub fn mul(ctx: &BgvContext, a: &Ciphertext, b: &Ciphertext, rlk: &RelinKey) -> Ciphertext {
+    let d0 = a.c0.mul(&b.c0, ctx);
+    let d1 = a.c0.mul(&b.c1, ctx).add(&a.c1.mul(&b.c0, ctx), ctx);
+    let d2 = a.c1.mul(&b.c1, ctx);
+    // Gadget-decompose d2 and fold in the relin key.
+    let digits = gadget_decompose(ctx, &d2);
+    let mut c0 = d0;
+    let mut c1 = d1;
+    for (j, dj) in digits.iter().enumerate() {
+        c0 = c0.add(&dj.mul(&rlk.b[j], ctx), ctx);
+        c1 = c1.add(&dj.mul(&rlk.a[j], ctx), ctx);
+    }
+    Ciphertext { c0, c1 }
+}
+
+/// Decomposes a polynomial into base-`2^w` digit polynomials via CRT
+/// composition of each coefficient.
+fn gadget_decompose(ctx: &BgvContext, p: &RnsPoly) -> Vec<RnsPoly> {
+    let w_bits = ctx.params.relin_base_bits;
+    let digits = ctx.params.relin_digits();
+    let mask = (1u128 << w_bits) - 1;
+    let mut out: Vec<Vec<u64>> = vec![vec![0u64; ctx.n()]; digits];
+    for j in 0..ctx.n() {
+        let residues: Vec<u64> = p.rows.iter().map(|r| r[j]).collect();
+        let mut x = ctx.compose(&residues);
+        for row in out.iter_mut() {
+            row[j] = (x & mask) as u64;
+            x >>= w_bits;
+        }
+    }
+    out.into_iter()
+        .map(|coeffs| RnsPoly::from_unsigned(ctx, &coeffs))
+        .collect()
+}
+
+/// Samples a uniform ring element (shared with the advanced module).
+pub(crate) fn sample_uniform_pub<R: Rng + ?Sized>(ctx: &BgvContext, rng: &mut R) -> RnsPoly {
+    sample_uniform(ctx, rng)
+}
+
+/// Samples an error polynomial (shared with the advanced module).
+pub(crate) fn sample_error_pub<R: Rng + ?Sized>(ctx: &BgvContext, rng: &mut R) -> RnsPoly {
+    RnsPoly::from_signed(ctx, &sample_error(ctx.n(), ctx.params.error_bound, rng))
+}
+
+/// Gadget decomposition (shared with the advanced module).
+pub(crate) fn gadget_decompose_pub(ctx: &BgvContext, p: &RnsPoly) -> Vec<RnsPoly> {
+    gadget_decompose(ctx, p)
+}
+
+/// Restricts a secret key to a (smaller) RNS basis, e.g. after modulus
+/// switching.
+pub fn restrict_secret_key(new_ctx: &BgvContext, sk: &SecretKey) -> SecretKey {
+    let s_rns = RnsPoly::from_signed(new_ctx, &sk.s);
+    let s2_rns = s_rns.mul(&s_rns, new_ctx);
+    SecretKey {
+        s: sk.s.clone(),
+        s_rns,
+        s2_rns,
+    }
+}
+
+/// Measures the remaining noise budget of a ciphertext, in bits.
+///
+/// Returns `log2(q / (2·|v|·t))`-ish: the number of additional doublings
+/// the invariant noise can absorb before decryption fails. Zero (or
+/// negative, clamped to zero) means the ciphertext is at the edge.
+pub fn noise_budget_bits(ctx: &BgvContext, sk: &SecretKey, ct: &Ciphertext) -> i32 {
+    let t = ctx.params.t as i128;
+    let d = ct.c0.add(&ct.c1.mul(&sk.s_rns, ctx), ctx);
+    let max_v = d
+        .centered_coeffs(ctx)
+        .into_iter()
+        .map(|c| {
+            let m = ((c % t) + t) % t;
+            ((c - m) / t).unsigned_abs()
+        })
+        .max()
+        .unwrap_or(0);
+    let q = ctx.params.q();
+    let capacity = q / (2 * ctx.params.t as u128);
+    let cap_bits = 128 - capacity.leading_zeros() as i32;
+    let noise_bits = 128 - max_v.leading_zeros() as i32;
+    (cap_bits - noise_bits).max(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BgvParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (BgvContext, SecretKey, PublicKey, StdRng) {
+        let ctx = BgvContext::new(BgvParams::test_small());
+        let mut rng = StdRng::seed_from_u64(42);
+        let (sk, pk) = keygen(&ctx, &mut rng);
+        (ctx, sk, pk, rng)
+    }
+
+    fn encode(ctx: &BgvContext, vals: &[u64]) -> RnsPoly {
+        let mut coeffs = vec![0u64; ctx.n()];
+        coeffs[..vals.len()].copy_from_slice(vals);
+        RnsPoly::from_unsigned(ctx, &coeffs)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (ctx, sk, pk, mut rng) = setup();
+        let m = encode(&ctx, &[1, 2, 3, 65_000, 0, 7]);
+        let ct = encrypt(&ctx, &pk, &m, &mut rng);
+        let got = decrypt(&ctx, &sk, &ct);
+        assert_eq!(&got[..6], &[1, 2, 3, 65_000, 0, 7]);
+        assert!(got[6..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (ctx, sk, pk, mut rng) = setup();
+        let a = encrypt(&ctx, &pk, &encode(&ctx, &[10, 20]), &mut rng);
+        let b = encrypt(&ctx, &pk, &encode(&ctx, &[5, 30]), &mut rng);
+        let got = decrypt(&ctx, &sk, &add(&ctx, &a, &b));
+        assert_eq!(&got[..2], &[15, 50]);
+    }
+
+    #[test]
+    fn addition_wraps_mod_t() {
+        let (ctx, sk, pk, mut rng) = setup();
+        let t = ctx.params.t;
+        let a = encrypt(&ctx, &pk, &encode(&ctx, &[t - 1]), &mut rng);
+        let b = encrypt(&ctx, &pk, &encode(&ctx, &[2]), &mut rng);
+        let got = decrypt(&ctx, &sk, &add(&ctx, &a, &b));
+        assert_eq!(got[0], 1);
+    }
+
+    #[test]
+    fn many_additions_stay_correct() {
+        // The aggregation pattern: summing many one-hot ciphertexts.
+        let (ctx, sk, pk, mut rng) = setup();
+        let mut acc = encrypt(&ctx, &pk, &encode(&ctx, &[1, 0, 1]), &mut rng);
+        for i in 0..200u64 {
+            let m = encode(&ctx, &[i % 2, 1, 0]);
+            acc = add(&ctx, &acc, &encrypt(&ctx, &pk, &m, &mut rng));
+        }
+        let got = decrypt(&ctx, &sk, &acc);
+        assert_eq!(&got[..3], &[101, 200, 1]);
+        assert!(noise_budget_bits(&ctx, &sk, &acc) > 20);
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let (ctx, sk, pk, mut rng) = setup();
+        let a = encrypt(&ctx, &pk, &encode(&ctx, &[7, 9]), &mut rng);
+        let got = decrypt(&ctx, &sk, &mul_scalar(&ctx, &a, 6));
+        assert_eq!(&got[..2], &[42, 54]);
+    }
+
+    #[test]
+    fn plaintext_multiplication() {
+        let (ctx, sk, pk, mut rng) = setup();
+        // m(x) = 3 + x, p(x) = 2 → product 6 + 2x.
+        let a = encrypt(&ctx, &pk, &encode(&ctx, &[3, 1]), &mut rng);
+        let p = encode(&ctx, &[2]);
+        let got = decrypt(&ctx, &sk, &mul_plain(&ctx, &a, &p));
+        assert_eq!(&got[..2], &[6, 2]);
+    }
+
+    #[test]
+    fn ciphertext_multiplication_with_relin() {
+        let (ctx, sk, pk, mut rng) = setup();
+        let rlk = relin_keygen(&ctx, &sk, &mut rng);
+        let a = encrypt(&ctx, &pk, &encode(&ctx, &[6]), &mut rng);
+        let b = encrypt(&ctx, &pk, &encode(&ctx, &[7]), &mut rng);
+        let prod = mul(&ctx, &a, &b, &rlk);
+        let got = decrypt(&ctx, &sk, &prod);
+        assert_eq!(got[0], 42);
+        assert!(
+            noise_budget_bits(&ctx, &sk, &prod) > 0,
+            "multiplication must leave headroom"
+        );
+    }
+
+    #[test]
+    fn polynomial_product_structure() {
+        let (ctx, sk, pk, mut rng) = setup();
+        let rlk = relin_keygen(&ctx, &sk, &mut rng);
+        // (2 + 3x)(4 + 5x) = 8 + 22x + 15x².
+        let a = encrypt(&ctx, &pk, &encode(&ctx, &[2, 3]), &mut rng);
+        let b = encrypt(&ctx, &pk, &encode(&ctx, &[4, 5]), &mut rng);
+        let got = decrypt(&ctx, &sk, &mul(&ctx, &a, &b, &rlk));
+        assert_eq!(&got[..3], &[8, 22, 15]);
+    }
+
+    #[test]
+    fn fresh_ciphertext_has_large_budget() {
+        let (ctx, sk, pk, mut rng) = setup();
+        let ct = encrypt(&ctx, &pk, &encode(&ctx, &[1]), &mut rng);
+        let budget = noise_budget_bits(&ctx, &sk, &ct);
+        assert!(budget > 60, "fresh budget {budget} too small");
+    }
+
+    #[test]
+    fn wrong_key_garbles_plaintext() {
+        let (ctx, _sk, pk, mut rng) = setup();
+        let (sk2, _) = keygen(&ctx, &mut rng);
+        let ct = encrypt(&ctx, &pk, &encode(&ctx, &[123]), &mut rng);
+        let got = decrypt(&ctx, &sk2, &ct);
+        assert_ne!(got[0], 123, "decrypting with the wrong key must fail");
+    }
+}

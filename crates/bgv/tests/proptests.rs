@@ -1,0 +1,89 @@
+//! Property-based tests for the BGV scheme.
+
+use arboretum_bgv::{
+    add, decrypt, encode_coeffs, encrypt, keygen, mul, mul_scalar, relin_keygen, sub, BgvContext,
+    BgvParams,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ctx() -> BgvContext {
+    BgvContext::new(BgvParams::test_small())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn encrypt_decrypt_roundtrip(vals in prop::collection::vec(0u64..65_000, 1..32), seed in any::<u64>()) {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sk, pk) = keygen(&ctx, &mut rng);
+        let ct = encrypt(&ctx, &pk, &encode_coeffs(&ctx, &vals).unwrap(), &mut rng);
+        let got = decrypt(&ctx, &sk, &ct);
+        prop_assert_eq!(&got[..vals.len()], &vals[..]);
+    }
+
+    #[test]
+    fn homomorphic_add_sub(a in prop::collection::vec(0u64..30_000, 8), b in prop::collection::vec(0u64..30_000, 8), seed in any::<u64>()) {
+        let ctx = ctx();
+        let t = ctx.params.t;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sk, pk) = keygen(&ctx, &mut rng);
+        let ca = encrypt(&ctx, &pk, &encode_coeffs(&ctx, &a).unwrap(), &mut rng);
+        let cb = encrypt(&ctx, &pk, &encode_coeffs(&ctx, &b).unwrap(), &mut rng);
+        let sum = decrypt(&ctx, &sk, &add(&ctx, &ca, &cb));
+        let diff = decrypt(&ctx, &sk, &sub(&ctx, &ca, &cb));
+        for i in 0..8 {
+            prop_assert_eq!(sum[i], (a[i] + b[i]) % t);
+            prop_assert_eq!(diff[i], (a[i] + t - b[i]) % t);
+        }
+    }
+
+    #[test]
+    fn scalar_multiplication(v in 0u64..1000, k in 0u64..60, seed in any::<u64>()) {
+        let ctx = ctx();
+        let t = ctx.params.t;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sk, pk) = keygen(&ctx, &mut rng);
+        let ct = encrypt(&ctx, &pk, &encode_coeffs(&ctx, &[v]).unwrap(), &mut rng);
+        let got = decrypt(&ctx, &sk, &mul_scalar(&ctx, &ct, k));
+        prop_assert_eq!(got[0], v * k % t);
+    }
+
+    #[test]
+    fn ciphertext_multiplication(a in 0u64..250, b in 0u64..250, seed in any::<u64>()) {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sk, pk) = keygen(&ctx, &mut rng);
+        let rlk = relin_keygen(&ctx, &sk, &mut rng);
+        let ca = encrypt(&ctx, &pk, &encode_coeffs(&ctx, &[a]).unwrap(), &mut rng);
+        let cb = encrypt(&ctx, &pk, &encode_coeffs(&ctx, &[b]).unwrap(), &mut rng);
+        let got = decrypt(&ctx, &sk, &mul(&ctx, &ca, &cb, &rlk));
+        prop_assert_eq!(got[0], a * b);
+    }
+
+    #[test]
+    fn aggregation_of_many_one_hots(cats in prop::collection::vec(0usize..4, 1..60), seed in any::<u64>()) {
+        // The core federated-analytics pattern as a property: summing
+        // arbitrary one-hot uploads yields the exact histogram.
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sk, pk) = keygen(&ctx, &mut rng);
+        let mut want = [0u64; 4];
+        let mut agg = None;
+        for &c in &cats {
+            want[c] += 1;
+            let mut row = vec![0u64; 4];
+            row[c] = 1;
+            let ct = encrypt(&ctx, &pk, &encode_coeffs(&ctx, &row).unwrap(), &mut rng);
+            agg = Some(match agg {
+                None => ct,
+                Some(acc) => add(&ctx, &acc, &ct),
+            });
+        }
+        let got = decrypt(&ctx, &sk, &agg.unwrap());
+        prop_assert_eq!(&got[..4], &want[..]);
+    }
+}

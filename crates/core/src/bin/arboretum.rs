@@ -1,0 +1,263 @@
+//! The `arboretum` command-line tool.
+//!
+//! ```text
+//! arboretum certify <query.arb> [options]   check differential privacy
+//! arboretum plan    <query.arb> [options]   choose an execution plan
+//! arboretum run     <query.arb> [options]   execute on a simulated deployment
+//! arboretum corpus                          list the built-in evaluation queries
+//!
+//! options:
+//!   --participants N      deployment size for planning        [default 2^20]
+//!   --categories C        one-hot categories in the schema    [default 16]
+//!   --trust-sens          accept analyst-declared sensitivities
+//!   --goal METRIC         agg-secs | agg-bytes | exp-secs | max-secs |
+//!                         exp-bytes | max-bytes               [default exp-secs]
+//!   --counts a,b,c,...    simulated per-category populations (run only)
+//!   --seed S              simulation seed                      [default 7]
+//! ```
+
+use std::process::ExitCode;
+
+use arboretum::lang::privacy::CertifyConfig;
+use arboretum::planner::cost::Goal;
+use arboretum::queries::corpus::all_queries;
+use arboretum::runtime::executor::{Deployment, ExecutionConfig};
+use arboretum::{Arboretum, DbSchema};
+
+struct Options {
+    participants: u64,
+    categories: usize,
+    trust_sens: bool,
+    goal: Goal,
+    counts: Option<Vec<usize>>,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            participants: 1 << 20,
+            categories: 16,
+            trust_sens: false,
+            goal: Goal::ParticipantExpectedSecs,
+            counts: None,
+            seed: 7,
+        }
+    }
+}
+
+fn parse_goal(s: &str) -> Result<Goal, String> {
+    Ok(match s {
+        "agg-secs" => Goal::AggSecs,
+        "agg-bytes" => Goal::AggBytes,
+        "exp-secs" => Goal::ParticipantExpectedSecs,
+        "max-secs" => Goal::ParticipantMaxSecs,
+        "exp-bytes" => Goal::ParticipantExpectedBytes,
+        "max-bytes" => Goal::ParticipantMaxBytes,
+        other => return Err(format!("unknown goal {other:?}")),
+    })
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--participants" => {
+                o.participants = next(args, &mut i)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--categories" => {
+                o.categories = next(args, &mut i)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--trust-sens" => o.trust_sens = true,
+            "--goal" => o.goal = parse_goal(&next(args, &mut i)?)?,
+            "--counts" => {
+                let list = next(args, &mut i)?;
+                let counts: Result<Vec<usize>, _> = list.split(',').map(str::parse).collect();
+                o.counts = Some(counts.map_err(|e| format!("bad counts: {e}"))?);
+            }
+            "--seed" => o.seed = next(args, &mut i)?.parse().map_err(|e| format!("{e}"))?,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn next(args: &[String], i: &mut usize) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: arboretum <certify|plan|run|corpus> [query-file] [options]\n\
+         run `arboretum corpus` to list built-in queries; a query file\n\
+         contains the Figure 2 language, e.g.:\n\
+         \n\
+         aggr = sum(db);\n\
+         result = em(aggr, 0.5);\n\
+         output(result);"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "corpus" => {
+            println!(
+                "{:<12} {:<28} {:>6} {:>5}",
+                "name", "action", "lines", "new"
+            );
+            for q in all_queries(1 << 30) {
+                println!(
+                    "{:<12} {:<28} {:>6} {:>5}",
+                    q.name,
+                    q.action,
+                    q.line_count(),
+                    if q.is_new { "yes" } else { "" }
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "certify" | "plan" | "run" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let opts = match parse_options(&args[2..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            dispatch(cmd, &source, &opts)
+        }
+        _ => usage(),
+    }
+}
+
+fn dispatch(cmd: &str, source: &str, opts: &Options) -> ExitCode {
+    let schema = DbSchema::one_hot(opts.participants, opts.categories);
+    let certify_cfg = CertifyConfig {
+        trust_declared_sensitivity: opts.trust_sens,
+        ..Default::default()
+    };
+    let mut system = Arboretum::new(opts.participants);
+    system.config.goal = opts.goal;
+
+    let prepared = match system.prepare(source, schema, certify_cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cert = prepared.certificate();
+    println!(
+        "certified: epsilon = {:.4}, delta = {:.2e}{}",
+        cert.cost.epsilon,
+        cert.cost.delta,
+        cert.sampling_rate
+            .map(|p| format!(", sampled at {p}"))
+            .unwrap_or_default()
+    );
+    for m in &cert.mechanisms {
+        println!(
+            "  mechanism {:?}: sensitivity {}, epsilon {:.4}",
+            m.builtin, m.sensitivity, m.cost.epsilon
+        );
+    }
+    if cmd == "certify" {
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "\nplan: {} vignettes, {} committees of {} members ({:.5}% of devices serve)",
+        prepared.plan.vignettes.len(),
+        prepared.plan.total_committees,
+        prepared.plan.committee_size,
+        prepared.plan.committee_fraction() * 100.0
+    );
+    for v in &prepared.plan.vignettes {
+        println!("  {:?} @ {:?} [{:?}]", v.op, v.location, v.scheme);
+    }
+    let m = &prepared.plan.metrics;
+    println!(
+        "\nmodeled costs at N = {}:\n  aggregator     {:>12.1} core-s   {:>10.2} GB sent\n  participant    {:>12.3} s exp    {:>10.3} MB exp\n                 {:>12.1} s max    {:>10.1} MB max",
+        opts.participants,
+        m.agg_secs,
+        m.agg_bytes / 1e9,
+        m.part_exp_secs,
+        m.part_exp_bytes / 1e6,
+        m.part_max_secs,
+        m.part_max_bytes / 1e6,
+    );
+    println!(
+        "planner: {} prefixes, {} candidates, {:?}",
+        prepared.stats.prefixes_considered, prepared.stats.full_candidates, prepared.stats.elapsed
+    );
+    if cmd == "plan" {
+        return ExitCode::SUCCESS;
+    }
+
+    // run: simulate a deployment.
+    let counts = opts
+        .counts
+        .clone()
+        .unwrap_or_else(|| vec![20; opts.categories]);
+    if counts.len() != opts.categories {
+        eprintln!(
+            "--counts has {} entries but --categories is {}",
+            counts.len(),
+            opts.categories
+        );
+        return ExitCode::FAILURE;
+    }
+    let assignments: Vec<usize> = counts
+        .iter()
+        .enumerate()
+        .flat_map(|(c, &n)| std::iter::repeat_n(c, n))
+        .collect();
+    let deployment = Deployment::one_hot(&assignments, opts.categories);
+    let exec = ExecutionConfig {
+        seed: opts.seed,
+        ..Default::default()
+    };
+    match system.run(&prepared, &deployment, &exec) {
+        Ok(report) => {
+            println!("\nexecuted on {} simulated devices:", assignments.len());
+            println!("  outputs: {:?}", report.outputs);
+            println!(
+                "  inputs: {} accepted, {} rejected",
+                report.accepted_inputs, report.rejected_inputs
+            );
+            println!(
+                "  MPC: {} rounds, {:.2} MB, {} triples",
+                report.mpc_metrics.rounds,
+                report.mpc_metrics.bytes_sent_total as f64 / 1e6,
+                report.mpc_metrics.triples
+            );
+            println!("  audit ok: {}", report.audit_ok);
+            println!("  budget remaining: {:.4}", report.budget_after.epsilon);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("execution failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! HMAC-SHA256 (RFC 2104) and a counter-mode PRF.
+//!
+//! Arboretum uses HMAC both as a MAC and as the deterministic
+//! pseudorandom function behind sortition tickets and deterministic
+//! Schnorr nonces (in the spirit of RFC 6979).
+
+use crate::sha256::{Digest, Sha256};
+
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA256(key, msg)`.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = {
+            let mut h = Sha256::new();
+            h.update(key);
+            h.finalize()
+        };
+        k[..32].copy_from_slice(&d);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let inner = {
+        let mut h = Sha256::new();
+        h.update(&ipad);
+        h.update(msg);
+        h.finalize()
+    };
+    let mut h = Sha256::new();
+    h.update(&opad);
+    h.update(&inner);
+    h.finalize()
+}
+
+/// Deterministic expandable output: `HMAC(key, msg || counter)` blocks.
+///
+/// Produces `len` pseudorandom bytes. Used wherever Arboretum needs more
+/// than 32 deterministic bytes from one seed (e.g. deriving per-party
+/// randomness in tests and simulations).
+pub fn hmac_expand(key: &[u8], msg: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut ctr = 0u32;
+    while out.len() < len {
+        let mut m = msg.to_vec();
+        m.extend_from_slice(&ctr.to_be_bytes());
+        out.extend_from_slice(&hmac_sha256(key, &m));
+        ctr += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+/// Derives a `u64` from an HMAC output (big-endian truncation).
+pub fn hmac_u64(key: &[u8], msg: &[u8]) -> u64 {
+    let d = hmac_sha256(key, msg);
+    u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_vectors() {
+        // RFC 4231 test case 1.
+        let key = [0x0bu8; 20];
+        let got = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&got),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        // Test case 2 ("Jefe").
+        let got = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&got),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        // Test case 3: 20 x 0xaa key, 50 x 0xdd data.
+        let got = hmac_sha256(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(
+            hex(&got),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        // RFC 4231 test case 6: 131-byte key forces the key-hash path.
+        let key = [0xaau8; 131];
+        let got = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&got),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn expand_deterministic_and_distinct() {
+        let a = hmac_expand(b"k", b"m", 100);
+        let b = hmac_expand(b"k", b"m", 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        let c = hmac_expand(b"k", b"m2", 100);
+        assert_ne!(a, c);
+        // Prefix property: shorter output is a prefix of longer.
+        let d = hmac_expand(b"k", b"m", 40);
+        assert_eq!(&a[..40], &d[..]);
+    }
+
+    #[test]
+    fn u64_is_prefix_of_mac() {
+        let d = hmac_sha256(b"key", b"msg");
+        let v = hmac_u64(b"key", b"msg");
+        assert_eq!(v.to_be_bytes(), d[..8]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Cryptographic primitives for Arboretum, built from scratch.
+//!
+//! * [`mod@sha256`] — FIPS 180-4 SHA-256 (Merkle trees, transcripts, HMAC).
+//! * [`hmac`] — HMAC-SHA256 and a counter-mode PRF (sortition tickets,
+//!   deterministic nonces).
+//! * [`merkle`] — Merkle hash trees with inclusion proofs (device
+//!   registry, aggregator step audits).
+//! * [`group`] — a prime-order Schnorr group over a 62-bit safe prime
+//!   (research-scale parameters; see DESIGN.md "Substitutions").
+//! * [`schnorr`] — deterministic Schnorr signatures (the paper's
+//!   deterministic-signature requirement for sortition).
+//! * [`pedersen`] — Pedersen commitments (ZKPs, Feldman/VSR commitments).
+//! * [`transcript`] — Fiat–Shamir transcripts for non-interactive proofs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod group;
+pub mod hmac;
+pub mod merkle;
+pub mod pedersen;
+pub mod schnorr;
+pub mod sha256;
+pub mod transcript;
+
+pub use group::{GroupElem, Scalar};
+pub use merkle::{MerkleProof, MerkleTree};
+pub use pedersen::{Commitment, Opening, PedersenParams};
+pub use schnorr::{Keypair, PublicKey, SecretKey, Signature};
+pub use sha256::{sha256, Digest, Sha256};
+pub use transcript::Transcript;

@@ -1,0 +1,151 @@
+//! Deterministic Schnorr signatures over the workspace group.
+//!
+//! Sortition (§5.1) requires a *deterministic* signature scheme so that a
+//! device cannot grind for low sortition hashes by re-signing: each device
+//! has exactly one valid ticket per round. The paper suggests RSA with
+//! deterministic padding; we use Schnorr with an RFC 6979-style nonce
+//! derived by HMAC from the secret key and message, which has the same
+//! one-ticket property.
+
+use crate::group::{scalar_from_hash, GroupElem, Scalar};
+use crate::hmac::hmac_sha256;
+use crate::sha256::Sha256;
+use rand::Rng;
+
+/// A Schnorr secret key (a scalar).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SecretKey(pub Scalar);
+
+/// A Schnorr public key (a group element).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PublicKey(pub GroupElem);
+
+/// A Schnorr signature `(R, s)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Signature {
+    /// Commitment `R = g^k`.
+    pub r: GroupElem,
+    /// Response `s = k + e·x mod q`.
+    pub s: Scalar,
+}
+
+impl Signature {
+    /// Canonical byte encoding (used as sortition ticket material).
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.r.to_bytes());
+        out[8..].copy_from_slice(&self.s.value().to_be_bytes());
+        out
+    }
+
+    /// Serialized size in bytes.
+    pub const SIZE: usize = 16;
+}
+
+/// A Schnorr keypair.
+#[derive(Clone, Copy, Debug)]
+pub struct Keypair {
+    /// The secret scalar.
+    pub sk: SecretKey,
+    /// The public point `g^sk`.
+    pub pk: PublicKey,
+}
+
+impl Keypair {
+    /// Generates a fresh keypair from `rng`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let sk = Scalar::new(rng.gen());
+        Self::from_secret(SecretKey(sk))
+    }
+
+    /// Derives a keypair deterministically from a seed (test/simulation
+    /// convenience: lets a million simulated devices have stable keys).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let d = hmac_sha256(b"arboretum/keygen", seed);
+        Self::from_secret(SecretKey(scalar_from_hash(&d)))
+    }
+
+    /// Builds the keypair for an existing secret.
+    pub fn from_secret(sk: SecretKey) -> Self {
+        let pk = PublicKey(GroupElem::mul_base(sk.0));
+        Self { sk, pk }
+    }
+
+    /// Signs `msg` deterministically.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        // Deterministic nonce: k = H2S(HMAC(sk, msg)). Never reuse a nonce
+        // across distinct messages; HMAC keyed by the secret guarantees it.
+        let sk_bytes = self.sk.0.value().to_be_bytes();
+        let k = scalar_from_hash(&hmac_sha256(&sk_bytes, msg));
+        let r = GroupElem::mul_base(k);
+        let e = challenge(&r, &self.pk, msg);
+        let s = k + e * self.sk.0;
+        Signature { r, s }
+    }
+}
+
+fn challenge(r: &GroupElem, pk: &PublicKey, msg: &[u8]) -> Scalar {
+    let mut h = Sha256::new();
+    h.update(b"arboretum/schnorr");
+    h.update(&r.to_bytes());
+    h.update(&pk.0.to_bytes());
+    h.update(msg);
+    scalar_from_hash(&h.finalize())
+}
+
+/// Verifies a signature: `g^s == R · pk^e`.
+pub fn verify(pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
+    let e = challenge(&sig.r, pk, msg);
+    GroupElem::mul_base(sig.s) == sig.r + pk.0.pow(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = Keypair::generate(&mut rng);
+        let sig = kp.sign(b"hello world");
+        assert!(verify(&kp.pk, b"hello world", &sig));
+    }
+
+    #[test]
+    fn signatures_are_deterministic() {
+        let kp = Keypair::from_seed(b"device-42");
+        assert_eq!(kp.sign(b"round-1"), kp.sign(b"round-1"));
+        assert_ne!(kp.sign(b"round-1"), kp.sign(b"round-2"));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let kp = Keypair::from_seed(b"k");
+        let sig = kp.sign(b"msg");
+        assert!(!verify(&kp.pk, b"other", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = Keypair::from_seed(b"k1");
+        let kp2 = Keypair::from_seed(b"k2");
+        let sig = kp1.sign(b"msg");
+        assert!(!verify(&kp2.pk, b"msg", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = Keypair::from_seed(b"k");
+        let mut sig = kp.sign(b"msg");
+        sig.s += Scalar::ONE;
+        assert!(!verify(&kp.pk, b"msg", &sig));
+    }
+
+    #[test]
+    fn seeded_keys_are_stable_and_distinct() {
+        assert_eq!(Keypair::from_seed(b"a").pk, Keypair::from_seed(b"a").pk);
+        assert_ne!(Keypair::from_seed(b"a").pk, Keypair::from_seed(b"b").pk);
+    }
+}

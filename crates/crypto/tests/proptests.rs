@@ -1,0 +1,93 @@
+//! Property-based tests for the cryptographic primitives.
+
+use arboretum_crypto::group::{GroupElem, Scalar, GROUP_Q};
+use arboretum_crypto::hmac::{hmac_expand, hmac_sha256};
+use arboretum_crypto::merkle::MerkleTree;
+use arboretum_crypto::pedersen::PedersenParams;
+use arboretum_crypto::schnorr::{verify, Keypair};
+use arboretum_crypto::sha256::{sha256, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..2048), split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn sha256_is_deterministic_and_injective_in_practice(a in prop::collection::vec(any::<u8>(), 0..256), b in prop::collection::vec(any::<u8>(), 0..256)) {
+        if a == b {
+            prop_assert_eq!(sha256(&a), sha256(&b));
+        } else {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+        }
+    }
+
+    #[test]
+    fn hmac_keys_separate(k1 in prop::collection::vec(any::<u8>(), 1..64), k2 in prop::collection::vec(any::<u8>(), 1..64), msg in prop::collection::vec(any::<u8>(), 0..128)) {
+        if k1 != k2 {
+            prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+        }
+    }
+
+    #[test]
+    fn hmac_expand_prefix_stable(len1 in 1usize..200, len2 in 1usize..200) {
+        let (a, b) = (len1.min(len2), len1.max(len2));
+        let short = hmac_expand(b"key", b"msg", a);
+        let long = hmac_expand(b"key", b"msg", b);
+        prop_assert_eq!(&short[..], &long[..a]);
+    }
+
+    #[test]
+    fn merkle_proofs_verify(n in 1usize..64, idx_seed in any::<u64>()) {
+        let leaves: Vec<Vec<u8>> = (0..n).map(|i| format!("L{i}").into_bytes()).collect();
+        let t = MerkleTree::new(&leaves);
+        let idx = (idx_seed as usize) % n;
+        let proof = t.prove(idx);
+        prop_assert!(MerkleTree::verify(&t.root(), &leaves[idx], &proof));
+        // Wrong leaf data never verifies.
+        prop_assert!(!MerkleTree::verify(&t.root(), b"evil", &proof));
+    }
+
+    #[test]
+    fn group_exponent_laws(a in 0..GROUP_Q, b in 0..GROUP_Q) {
+        let g = GroupElem::generator();
+        let (sa, sb) = (Scalar::new(a), Scalar::new(b));
+        prop_assert_eq!(g.pow(sa) + g.pow(sb), g.pow(sa + sb));
+        prop_assert_eq!(g.pow(sa).pow(sb), g.pow(sa * sb));
+    }
+
+    #[test]
+    fn schnorr_roundtrip_and_unforgeability(seed in any::<u64>(), msg in prop::collection::vec(any::<u8>(), 0..64), tweak in 1..GROUP_Q) {
+        let kp = Keypair::from_seed(&seed.to_be_bytes());
+        let sig = kp.sign(&msg);
+        prop_assert!(verify(&kp.pk, &msg, &sig));
+        let mut bad = sig;
+        bad.s += Scalar::new(tweak);
+        prop_assert!(!verify(&kp.pk, &msg, &bad));
+    }
+
+    #[test]
+    fn pedersen_homomorphism(v1 in 0..GROUP_Q, v2 in 0..GROUP_Q, r1 in 0..GROUP_Q, r2 in 0..GROUP_Q) {
+        let pp = PedersenParams::standard();
+        let c1 = pp.commit_with(Scalar::new(v1), Scalar::new(r1));
+        let c2 = pp.commit_with(Scalar::new(v2), Scalar::new(r2));
+        let sum = pp.commit_with(Scalar::new(v1) + Scalar::new(v2), Scalar::new(r1) + Scalar::new(r2));
+        prop_assert_eq!(c1.add(c2), sum);
+    }
+
+    #[test]
+    fn pedersen_binding_in_practice(v1 in 0..GROUP_Q, v2 in 0..GROUP_Q, r in 0..GROUP_Q) {
+        if v1 != v2 {
+            let pp = PedersenParams::standard();
+            prop_assert_ne!(
+                pp.commit_with(Scalar::new(v1), Scalar::new(r)),
+                pp.commit_with(Scalar::new(v2), Scalar::new(r))
+            );
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Privacy-budget accounting and composition.
+//!
+//! The key-generation committee checks the analyst's remaining budget
+//! before authorizing a query (§5.2); the certificate carries the balance
+//! forward to the next committee. Sequential composition adds epsilons
+//! and deltas; top-k one-shot selection composes as `√k · ε` (§2.1).
+
+/// An `(ε, δ)` privacy cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrivacyCost {
+    /// The epsilon component.
+    pub epsilon: f64,
+    /// The delta component.
+    pub delta: f64,
+}
+
+impl PrivacyCost {
+    /// A pure-epsilon cost.
+    pub fn pure(epsilon: f64) -> Self {
+        Self {
+            epsilon,
+            delta: 0.0,
+        }
+    }
+
+    /// Sequential composition with another cost.
+    pub fn compose(self, other: Self) -> Self {
+        Self {
+            epsilon: self.epsilon + other.epsilon,
+            delta: self.delta + other.delta,
+        }
+    }
+
+    /// The cost of releasing the top `k` items with one-shot Gumbel noise
+    /// at per-release `eps` (Durfee–Rogers): `√k · ε`.
+    pub fn top_k_oneshot(eps: f64, k: usize) -> Self {
+        Self::pure((k as f64).sqrt() * eps)
+    }
+
+    /// Amplification by subsampling (secrecy of the sample): running an
+    /// `ε`-DP query on a `φ`-sample is `ln(1 + φ(e^ε − 1))`-DP.
+    pub fn amplify_by_sampling(self, phi: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&phi),
+            "sampling rate {phi} out of range"
+        );
+        Self {
+            epsilon: (1.0 + phi * (self.epsilon.exp() - 1.0)).ln(),
+            // Delta scales by at most the sampling rate.
+            delta: self.delta * phi,
+        }
+    }
+}
+
+/// Errors from the budget ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BudgetError {
+    /// Charging would exceed the remaining epsilon.
+    EpsilonExhausted {
+        /// Requested epsilon.
+        requested: f64,
+        /// Remaining epsilon.
+        remaining: f64,
+    },
+    /// Charging would exceed the remaining delta.
+    DeltaExhausted {
+        /// Requested delta.
+        requested: f64,
+        /// Remaining delta.
+        remaining: f64,
+    },
+    /// Negative charge.
+    NegativeCharge,
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EpsilonExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "epsilon charge {requested} exceeds remaining {remaining}"
+            ),
+            Self::DeltaExhausted {
+                requested,
+                remaining,
+            } => write!(f, "delta charge {requested} exceeds remaining {remaining}"),
+            Self::NegativeCharge => write!(f, "privacy charges must be non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// The analyst's privacy-budget ledger.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BudgetLedger {
+    remaining: PrivacyCost,
+    spent: PrivacyCost,
+}
+
+impl BudgetLedger {
+    /// Opens a ledger with the given total budget.
+    pub fn new(total: PrivacyCost) -> Self {
+        Self {
+            remaining: total,
+            spent: PrivacyCost::pure(0.0),
+        }
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> PrivacyCost {
+        self.remaining
+    }
+
+    /// Total spent so far.
+    pub fn spent(&self) -> PrivacyCost {
+        self.spent
+    }
+
+    /// Checks whether a charge fits without applying it.
+    pub fn can_afford(&self, cost: PrivacyCost) -> bool {
+        cost.epsilon >= 0.0
+            && cost.delta >= 0.0
+            && cost.epsilon <= self.remaining.epsilon
+            && cost.delta <= self.remaining.delta
+    }
+
+    /// Applies a charge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetError`] if the charge is negative or exceeds the
+    /// remaining budget; the ledger is unchanged on error.
+    pub fn charge(&mut self, cost: PrivacyCost) -> Result<(), BudgetError> {
+        if cost.epsilon < 0.0 || cost.delta < 0.0 {
+            return Err(BudgetError::NegativeCharge);
+        }
+        if cost.epsilon > self.remaining.epsilon {
+            return Err(BudgetError::EpsilonExhausted {
+                requested: cost.epsilon,
+                remaining: self.remaining.epsilon,
+            });
+        }
+        if cost.delta > self.remaining.delta {
+            return Err(BudgetError::DeltaExhausted {
+                requested: cost.delta,
+                remaining: self.remaining.delta,
+            });
+        }
+        self.remaining.epsilon -= cost.epsilon;
+        self.remaining.delta -= cost.delta;
+        self.spent = self.spent.compose(cost);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_composition_adds() {
+        let a = PrivacyCost {
+            epsilon: 0.1,
+            delta: 1e-9,
+        };
+        let b = PrivacyCost {
+            epsilon: 0.2,
+            delta: 2e-9,
+        };
+        let c = a.compose(b);
+        assert!((c.epsilon - 0.3).abs() < 1e-12);
+        assert!((c.delta - 3e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn top_k_composition_is_sqrt_k() {
+        let c = PrivacyCost::top_k_oneshot(0.1, 25);
+        assert!((c.epsilon - 0.5).abs() < 1e-12);
+        assert_eq!(c.delta, 0.0);
+    }
+
+    #[test]
+    fn sampling_amplification_matches_formula() {
+        let c = PrivacyCost::pure(1.0).amplify_by_sampling(0.01);
+        let want = (1.0f64 + 0.01 * (1f64.exp() - 1.0)).ln();
+        assert!((c.epsilon - want).abs() < 1e-12);
+        // For eps <= 1 and small phi this is close to 2*phi/eps ... i.e.
+        // roughly phi * (e - 1); must be far below the unamplified eps.
+        assert!(c.epsilon < 0.02);
+    }
+
+    #[test]
+    fn ledger_charges_and_refuses() {
+        let mut l = BudgetLedger::new(PrivacyCost {
+            epsilon: 1.0,
+            delta: 1e-8,
+        });
+        assert!(l.can_afford(PrivacyCost::pure(0.5)));
+        l.charge(PrivacyCost::pure(0.7)).unwrap();
+        let err = l.charge(PrivacyCost::pure(0.5)).unwrap_err();
+        assert!(matches!(err, BudgetError::EpsilonExhausted { .. }));
+        // Ledger unchanged on failure.
+        assert!((l.remaining().epsilon - 0.3).abs() < 1e-12);
+        l.charge(PrivacyCost::pure(0.3)).unwrap();
+        assert!((l.spent().epsilon - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_budget_enforced() {
+        let mut l = BudgetLedger::new(PrivacyCost {
+            epsilon: 10.0,
+            delta: 1e-9,
+        });
+        let err = l
+            .charge(PrivacyCost {
+                epsilon: 0.1,
+                delta: 1e-8,
+            })
+            .unwrap_err();
+        assert!(matches!(err, BudgetError::DeltaExhausted { .. }));
+    }
+
+    #[test]
+    fn negative_charge_rejected() {
+        let mut l = BudgetLedger::new(PrivacyCost::pure(1.0));
+        assert_eq!(
+            l.charge(PrivacyCost::pure(-0.1)).unwrap_err(),
+            BudgetError::NegativeCharge
+        );
+    }
+}

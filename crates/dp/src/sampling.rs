@@ -1,0 +1,122 @@
+//! Secrecy of the sample (§2.1, §6).
+//!
+//! Running an `ε`-DP query on a secret `φ`-subsample of the population
+//! amplifies the guarantee to `ln(1 + φ(e^ε − 1))` — *provided nobody can
+//! observe who was sampled*. Arboretum's protocol (§6): each participant
+//! places its encrypted input into one of `b` bins chosen uniformly at
+//! random; a committee samples a secret offset `j` and only the `x`
+//! consecutive bins starting at `j` (mod `b`) enter the decrypted
+//! aggregate. Participants cannot tell whether they were included, and
+//! the committee never learns who chose which bin.
+
+use rand::Rng;
+
+/// Configuration of the bin-sampling protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BinSampling {
+    /// Total number of bins `b` (the paper uses the ciphertext slot
+    /// count).
+    pub bins: usize,
+    /// Number of selected bins `x`; the sampling rate is `x / b`.
+    pub selected: usize,
+}
+
+impl BinSampling {
+    /// Creates a configuration with rate `selected / bins`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selected` is zero or exceeds `bins`.
+    pub fn new(bins: usize, selected: usize) -> Self {
+        assert!(
+            selected >= 1 && selected <= bins,
+            "selected {selected} must be in [1, {bins}]"
+        );
+        Self { bins, selected }
+    }
+
+    /// The sampling rate `φ = x / b`.
+    pub fn rate(&self) -> f64 {
+        self.selected as f64 / self.bins as f64
+    }
+
+    /// A participant's random bin choice.
+    pub fn choose_bin<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.gen_range(0..self.bins)
+    }
+
+    /// The committee's secret window offset.
+    pub fn choose_offset<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.gen_range(0..self.bins)
+    }
+
+    /// Whether a bin falls inside the committee window starting at
+    /// `offset` (wrapping modulo `b`).
+    pub fn in_window(&self, offset: usize, bin: usize) -> bool {
+        let d = (bin + self.bins - offset) % self.bins;
+        d < self.selected
+    }
+
+    /// Simulates the sampling over participant bin choices: returns the
+    /// participants whose bins fall in the window.
+    pub fn sample_participants(&self, offset: usize, bin_choices: &[usize]) -> Vec<usize> {
+        bin_choices
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| self.in_window(offset, b))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rate_is_ratio() {
+        let s = BinSampling::new(1024, 512);
+        assert!((s.rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_wraps_around() {
+        let s = BinSampling::new(10, 3);
+        // Window starting at 8 covers bins {8, 9, 0}.
+        assert!(s.in_window(8, 8));
+        assert!(s.in_window(8, 9));
+        assert!(s.in_window(8, 0));
+        assert!(!s.in_window(8, 1));
+        assert!(!s.in_window(8, 7));
+    }
+
+    #[test]
+    fn sampled_fraction_concentrates_on_rate() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let s = BinSampling::new(256, 64); // φ = 0.25.
+        let n = 40_000;
+        let choices: Vec<usize> = (0..n).map(|_| s.choose_bin(&mut rng)).collect();
+        let offset = s.choose_offset(&mut rng);
+        let sampled = s.sample_participants(offset, &choices);
+        let frac = sampled.len() as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "fraction {frac}");
+    }
+
+    #[test]
+    fn every_offset_yields_same_expected_coverage() {
+        // No offset is special: each covers exactly `selected` bins.
+        let s = BinSampling::new(20, 7);
+        for offset in 0..20 {
+            let covered = (0..20).filter(|&b| s.in_window(offset, b)).count();
+            assert_eq!(covered, 7, "offset {offset}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn zero_selection_rejected() {
+        BinSampling::new(10, 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Numeric foundations for Arboretum: prime fields, NTTs, and fixed point.
+//!
+//! This crate is dependency-free (standard library only) and hosts the
+//! arithmetic every other Arboretum subsystem builds on:
+//!
+//! * [`fp::Fp`] — const-generic prime-field elements.
+//! * [`primes`] — the named NTT-friendly moduli used across the workspace,
+//!   plus an exact 64-bit Miller–Rabin test.
+//! * [`ntt::NttTable`] — cyclic and negacyclic number-theoretic transforms,
+//!   the workhorse of the BGV polynomial ring.
+//! * [`fixed::Fix`] — `sfix`-style Q30.16 fixed point with deterministic
+//!   `exp2`/`log2`, used by the differential-privacy mechanisms to avoid
+//!   floating-point side channels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixed;
+pub mod fp;
+pub mod ntt;
+pub mod primes;
+pub mod zq;
+
+pub use fixed::Fix;
+pub use fp::Fp;
+pub use ntt::NttTable;
+
+/// Field element over the Goldilocks prime, the workspace's MPC and
+/// commitment field.
+pub type FGold = Fp<{ primes::GOLDILOCKS }>;

@@ -1,0 +1,263 @@
+//! Number-theoretic transforms over const-generic prime fields.
+//!
+//! Provides the classic iterative radix-2 Cooley–Tukey NTT plus the
+//! negacyclic ("twisted") variant used for arithmetic in the BGV ring
+//! `Z_q[x] / (x^n + 1)`.
+
+use crate::fp::Fp;
+use crate::primes::{root_of_unity, two_adicity};
+
+/// Precomputed tables for (inverse) NTTs of a fixed power-of-two length.
+///
+/// Construct once per `(modulus, n)` pair and reuse; table construction is
+/// `O(n)` multiplications, each transform `O(n log n)`.
+#[derive(Clone, Debug)]
+pub struct NttTable<const M: u64> {
+    n: usize,
+    /// Powers of the primitive `2n`-th root `psi`: `psi^0 .. psi^{n-1}`.
+    psi_pow: Vec<Fp<M>>,
+    /// Powers of `psi^{-1}`.
+    psi_inv_pow: Vec<Fp<M>>,
+    /// Powers of the `n`-th root `omega = psi^2`.
+    omega_pow: Vec<Fp<M>>,
+    /// Powers of `omega^{-1}`.
+    omega_inv_pow: Vec<Fp<M>>,
+    /// `n^{-1} mod M`.
+    n_inv: Fp<M>,
+}
+
+impl<const M: u64> NttTable<M> {
+    /// Builds tables for transforms of length `n` (a power of two).
+    ///
+    /// `root` must be a primitive root of the prime `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `M - 1` lacks a `2n` factor.
+    pub fn new(n: usize, root: u64) -> Self {
+        assert!(n.is_power_of_two(), "NTT length {n} must be a power of two");
+        let log2n = n.trailing_zeros();
+        assert!(
+            two_adicity(M) > log2n,
+            "modulus {M} cannot support negacyclic NTT of length {n}"
+        );
+        let psi = Fp::<M>::new(root_of_unity(M, root, log2n + 1));
+        let psi_inv = psi.inv();
+        let omega = psi.square();
+        let omega_inv = omega.inv();
+        let mut psi_pow = Vec::with_capacity(n);
+        let mut psi_inv_pow = Vec::with_capacity(n);
+        let mut omega_pow = Vec::with_capacity(n);
+        let mut omega_inv_pow = Vec::with_capacity(n);
+        let (mut a, mut b, mut c, mut d) = (Fp::ONE, Fp::ONE, Fp::ONE, Fp::ONE);
+        for _ in 0..n {
+            psi_pow.push(a);
+            psi_inv_pow.push(b);
+            omega_pow.push(c);
+            omega_inv_pow.push(d);
+            a *= psi;
+            b *= psi_inv;
+            c *= omega;
+            d *= omega_inv;
+        }
+        let n_inv = Fp::<M>::new(n as u64).inv();
+        Self {
+            n,
+            psi_pow,
+            psi_inv_pow,
+            omega_pow,
+            omega_inv_pow,
+            n_inv,
+        }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the transform length is zero (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn core(&self, a: &mut [Fp<M>], omega_pow: &[Fp<M>]) {
+        let n = self.n;
+        // Bit-reversal permutation.
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            if i < j {
+                a.swap(i, j);
+            }
+        }
+        // Iterative Cooley–Tukey butterflies.
+        let mut len = 2;
+        while len <= n {
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..len / 2 {
+                    let w = omega_pow[k * step];
+                    let u = a[start + k];
+                    let v = a[start + k + len / 2] * w;
+                    a[start + k] = u + v;
+                    a[start + k + len / 2] = u - v;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// In-place forward cyclic NTT (`Z_q[x]/(x^n - 1)` evaluation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len()` differs from the table length.
+    pub fn forward(&self, a: &mut [Fp<M>]) {
+        assert_eq!(a.len(), self.n, "input length mismatch");
+        self.core(a, &self.omega_pow);
+    }
+
+    /// In-place inverse cyclic NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len()` differs from the table length.
+    pub fn inverse(&self, a: &mut [Fp<M>]) {
+        assert_eq!(a.len(), self.n, "input length mismatch");
+        self.core(a, &self.omega_inv_pow);
+        for x in a.iter_mut() {
+            *x *= self.n_inv;
+        }
+    }
+
+    /// In-place forward negacyclic NTT (`Z_q[x]/(x^n + 1)`).
+    ///
+    /// Twists coefficients by powers of the `2n`-th root before the cyclic
+    /// transform, so pointwise products correspond to negacyclic
+    /// convolutions.
+    pub fn forward_negacyclic(&self, a: &mut [Fp<M>]) {
+        assert_eq!(a.len(), self.n, "input length mismatch");
+        for (x, &p) in a.iter_mut().zip(&self.psi_pow) {
+            *x *= p;
+        }
+        self.core(a, &self.omega_pow);
+    }
+
+    /// In-place inverse negacyclic NTT.
+    pub fn inverse_negacyclic(&self, a: &mut [Fp<M>]) {
+        assert_eq!(a.len(), self.n, "input length mismatch");
+        self.core(a, &self.omega_inv_pow);
+        for (x, &p) in a.iter_mut().zip(&self.psi_inv_pow) {
+            *x = *x * p * self.n_inv;
+        }
+    }
+
+    /// Negacyclic convolution of `a` and `b` (product in `Z_q[x]/(x^n+1)`).
+    pub fn negacyclic_mul(&self, a: &[Fp<M>], b: &[Fp<M>]) -> Vec<Fp<M>> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward_negacyclic(&mut fa);
+        self.forward_negacyclic(&mut fb);
+        for (x, y) in fa.iter_mut().zip(&fb) {
+            *x *= *y;
+        }
+        self.inverse_negacyclic(&mut fa);
+        fa
+    }
+}
+
+/// Schoolbook negacyclic multiplication, used as a test oracle.
+pub fn negacyclic_mul_naive<const M: u64>(a: &[Fp<M>], b: &[Fp<M>]) -> Vec<Fp<M>> {
+    let n = a.len();
+    assert_eq!(n, b.len());
+    let mut out = vec![Fp::<M>::ZERO; n];
+    for i in 0..n {
+        for j in 0..n {
+            let prod = a[i] * b[j];
+            if i + j < n {
+                out[i + j] += prod;
+            } else {
+                out[i + j - n] -= prod;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::{BGV_Q1, BGV_Q_ROOTS, GOLDILOCKS, GOLDILOCKS_ROOT};
+
+    type F = Fp<BGV_Q1>;
+
+    fn table(n: usize) -> NttTable<BGV_Q1> {
+        NttTable::new(n, BGV_Q_ROOTS[0])
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let t = table(64);
+        let orig: Vec<F> = (0..64).map(|i| F::new(i * 31 + 5)).collect();
+        let mut a = orig.clone();
+        t.forward(&mut a);
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn negacyclic_roundtrip() {
+        let t = table(128);
+        let orig: Vec<F> = (0..128).map(|i| F::new(i * i + 1)).collect();
+        let mut a = orig.clone();
+        t.forward_negacyclic(&mut a);
+        t.inverse_negacyclic(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn negacyclic_matches_schoolbook() {
+        let t = table(32);
+        let a: Vec<F> = (0..32).map(|i| F::new(7 * i + 3)).collect();
+        let b: Vec<F> = (0..32).map(|i| F::new(11 * i + 1)).collect();
+        assert_eq!(t.negacyclic_mul(&a, &b), negacyclic_mul_naive(&a, &b));
+    }
+
+    #[test]
+    fn x_to_the_n_wraps_negatively() {
+        // In Z_q[x]/(x^n + 1), x^{n-1} * x = -1.
+        let n = 16;
+        let t = table(n);
+        let mut a = vec![F::ZERO; n];
+        let mut b = vec![F::ZERO; n];
+        a[n - 1] = F::ONE;
+        b[1] = F::ONE;
+        let c = t.negacyclic_mul(&a, &b);
+        assert_eq!(c[0], -F::ONE);
+        assert!(c[1..].iter().all(|x| x.is_zero()));
+    }
+
+    #[test]
+    fn goldilocks_transform_works() {
+        let t = NttTable::<GOLDILOCKS>::new(256, GOLDILOCKS_ROOT);
+        let orig: Vec<Fp<GOLDILOCKS>> = (0..256).map(|i| Fp::new(i as u64 * 0xdead_beef)).collect();
+        let mut a = orig.clone();
+        t.forward_negacyclic(&mut a);
+        t.inverse_negacyclic(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let t = table(64);
+        let a: Vec<F> = (0..64).map(|i| F::new(i * 13)).collect();
+        let b: Vec<F> = (0..64).map(|i| F::new(i * 29 + 2)).collect();
+        assert_eq!(t.negacyclic_mul(&a, &b), t.negacyclic_mul(&b, &a));
+    }
+}

@@ -1,0 +1,173 @@
+//! Named prime moduli and primality utilities.
+//!
+//! The NTT-friendly primes below were selected so that `p - 1` has a large
+//! power-of-two factor (the "2-adicity"), which is what permits radix-2
+//! number-theoretic transforms of the corresponding length.
+
+/// The Goldilocks prime `2^64 - 2^32 + 1`, with 2-adicity 32.
+///
+/// Used as the base field for MPC secret sharing, commitments, and
+/// signatures. Its smallest primitive root is 7.
+pub const GOLDILOCKS: u64 = 18_446_744_069_414_584_321;
+
+/// Smallest primitive root of [`GOLDILOCKS`].
+pub const GOLDILOCKS_ROOT: u64 = 7;
+
+/// 2-adicity of [`GOLDILOCKS`] (i.e. `2^32` divides `p - 1`).
+pub const GOLDILOCKS_TWO_ADICITY: u32 = 32;
+
+/// First 62-bit BGV ciphertext-modulus prime (`p ≡ 1 mod 2^20`), root 3.
+pub const BGV_Q1: u64 = 4_611_686_018_405_367_809;
+
+/// Second 62-bit BGV ciphertext-modulus prime (`p ≡ 1 mod 2^20`), root 3.
+pub const BGV_Q2: u64 = 4_611_686_018_326_724_609;
+
+/// Third 62-bit BGV ciphertext-modulus prime (`p ≡ 1 mod 2^20`), root 5.
+pub const BGV_Q3: u64 = 4_611_686_018_325_676_033;
+
+/// Primitive roots of the BGV primes, index-matched to `BGV_Q{1,2,3}`.
+pub const BGV_Q_ROOTS: [u64; 3] = [3, 3, 5];
+
+/// 2-adicity of the BGV ciphertext primes.
+pub const BGV_Q_TWO_ADICITY: u32 = 20;
+
+/// 30-bit NTT-friendly plaintext prime (`t ≡ 1 mod 2^16`), root 7.
+///
+/// Chosen near the paper's `2^30` plaintext modulus; being `≡ 1 mod 2^16`
+/// additionally enables slot batching for rings up to `x^{2^15} + 1`.
+pub const BGV_T_PRIME: u64 = 1_073_872_897;
+
+/// Primitive root of [`BGV_T_PRIME`].
+pub const BGV_T_ROOT: u64 = 7;
+
+/// 2-adicity of [`BGV_T_PRIME`].
+pub const BGV_T_TWO_ADICITY: u32 = 16;
+
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    a %= m;
+    while e != 0 {
+        if e & 1 == 1 {
+            acc = mul_mod(acc, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+///
+/// Uses the first twelve primes as witnesses, which is a known-sufficient
+/// witness set for 64-bit integers.
+pub fn is_prime(n: u64) -> bool {
+    const WITNESSES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+    if n < 2 {
+        return false;
+    }
+    for &p in &WITNESSES {
+        if n.is_multiple_of(p) {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for &a in &WITNESSES {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Returns the largest `k` such that `2^k` divides `n - 1`.
+pub fn two_adicity(n: u64) -> u32 {
+    (n - 1).trailing_zeros()
+}
+
+/// Computes a primitive `2^k`-th root of unity modulo the prime `p`.
+///
+/// `root` must be a primitive root of `p` and `2^k` must divide `p - 1`.
+///
+/// # Panics
+///
+/// Panics if `2^k` does not divide `p - 1`.
+pub fn root_of_unity(p: u64, root: u64, k: u32) -> u64 {
+    assert!(
+        two_adicity(p) >= k,
+        "p - 1 lacks a 2^{k} factor (2-adicity {})",
+        two_adicity(p)
+    );
+    pow_mod(root, (p - 1) >> k, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_moduli_are_prime() {
+        for &p in &[GOLDILOCKS, BGV_Q1, BGV_Q2, BGV_Q3, BGV_T_PRIME] {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+    }
+
+    #[test]
+    fn named_adicities_hold() {
+        assert!(two_adicity(GOLDILOCKS) >= GOLDILOCKS_TWO_ADICITY);
+        for &q in &[BGV_Q1, BGV_Q2, BGV_Q3] {
+            assert!(two_adicity(q) >= BGV_Q_TWO_ADICITY);
+        }
+        assert!(two_adicity(BGV_T_PRIME) >= BGV_T_TWO_ADICITY);
+    }
+
+    #[test]
+    fn miller_rabin_small_cases() {
+        let primes: Vec<u64> = (2..100).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+                83, 89, 97
+            ]
+        );
+        assert!(!is_prime(0));
+        assert!(!is_prime(1));
+    }
+
+    #[test]
+    fn miller_rabin_carmichael() {
+        // Classic Carmichael numbers must be rejected.
+        for &c in &[561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_prime(c), "{c} is Carmichael, not prime");
+        }
+    }
+
+    #[test]
+    fn roots_of_unity_have_exact_order() {
+        for (i, &q) in [BGV_Q1, BGV_Q2, BGV_Q3].iter().enumerate() {
+            let w = root_of_unity(q, BGV_Q_ROOTS[i], 10);
+            assert_eq!(pow_mod(w, 1 << 10, q), 1);
+            assert_ne!(pow_mod(w, 1 << 9, q), 1);
+        }
+        let w = root_of_unity(GOLDILOCKS, GOLDILOCKS_ROOT, 16);
+        assert_eq!(pow_mod(w, 1 << 16, GOLDILOCKS), 1);
+        assert_ne!(pow_mod(w, 1 << 15, GOLDILOCKS), 1);
+    }
+}

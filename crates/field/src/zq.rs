@@ -1,0 +1,281 @@
+//! Runtime-modulus arithmetic and NTTs.
+//!
+//! The const-generic [`crate::fp::Fp`] is ideal when the modulus is fixed
+//! at compile time (MPC field, commitment group), but the BGV RNS layer
+//! picks its ciphertext-modulus primes at runtime from a parameter set.
+//! This module provides the same arithmetic with the modulus as data, plus
+//! a runtime-modulus negacyclic NTT mirror of [`crate::ntt::NttTable`].
+
+use crate::primes::two_adicity;
+
+/// `(a + b) mod m` without overflow for `m < 2^63`.
+#[inline]
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    let s = a + b;
+    if s >= m {
+        s - m
+    } else {
+        s
+    }
+}
+
+/// `(a - b) mod m`.
+#[inline]
+pub fn sub_mod(a: u64, b: u64, m: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a + m - b
+    }
+}
+
+/// `(a * b) mod m` via `u128` widening.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `a^e mod m` by square-and-multiply.
+pub fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    a %= m;
+    while e != 0 {
+        if e & 1 == 1 {
+            acc = mul_mod(acc, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+/// `a^{-1} mod m` for prime `m`.
+///
+/// # Panics
+///
+/// Panics if `a ≡ 0 (mod m)`.
+pub fn inv_mod(a: u64, m: u64) -> u64 {
+    assert!(!a.is_multiple_of(m), "attempted to invert zero mod {m}");
+    pow_mod(a, m - 2, m)
+}
+
+/// `(-a) mod m`.
+#[inline]
+pub fn neg_mod(a: u64, m: u64) -> u64 {
+    if a == 0 {
+        0
+    } else {
+        m - a
+    }
+}
+
+/// Precomputed tables for runtime-modulus negacyclic NTTs.
+///
+/// Functionally identical to [`crate::ntt::NttTable`] but with the prime
+/// modulus chosen at runtime, as the BGV RNS layer requires.
+#[derive(Clone, Debug)]
+pub struct RtNttTable {
+    modulus: u64,
+    n: usize,
+    psi_pow: Vec<u64>,
+    psi_inv_pow: Vec<u64>,
+    omega_pow: Vec<u64>,
+    omega_inv_pow: Vec<u64>,
+    n_inv: u64,
+}
+
+impl RtNttTable {
+    /// Builds tables of length `n` for the prime `modulus` whose primitive
+    /// root is `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or the modulus lacks the
+    /// required 2-adicity.
+    pub fn new(n: usize, modulus: u64, root: u64) -> Self {
+        assert!(n.is_power_of_two(), "NTT length {n} must be a power of two");
+        let log2n = n.trailing_zeros();
+        assert!(
+            two_adicity(modulus) > log2n,
+            "modulus {modulus} cannot support negacyclic NTT of length {n}"
+        );
+        let psi = pow_mod(root, (modulus - 1) >> (log2n + 1), modulus);
+        let psi_inv = inv_mod(psi, modulus);
+        let omega = mul_mod(psi, psi, modulus);
+        let omega_inv = inv_mod(omega, modulus);
+        let mut psi_pow = Vec::with_capacity(n);
+        let mut psi_inv_pow = Vec::with_capacity(n);
+        let mut omega_pow = Vec::with_capacity(n);
+        let mut omega_inv_pow = Vec::with_capacity(n);
+        let (mut a, mut b, mut c, mut d) = (1u64, 1u64, 1u64, 1u64);
+        for _ in 0..n {
+            psi_pow.push(a);
+            psi_inv_pow.push(b);
+            omega_pow.push(c);
+            omega_inv_pow.push(d);
+            a = mul_mod(a, psi, modulus);
+            b = mul_mod(b, psi_inv, modulus);
+            c = mul_mod(c, omega, modulus);
+            d = mul_mod(d, omega_inv, modulus);
+        }
+        Self {
+            modulus,
+            n,
+            psi_pow,
+            psi_inv_pow,
+            omega_pow,
+            omega_inv_pow,
+            n_inv: inv_mod(n as u64, modulus),
+        }
+    }
+
+    /// The prime modulus.
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the length is zero (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn core(&self, a: &mut [u64], omega_pow: &[u64]) {
+        let n = self.n;
+        let m = self.modulus;
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            if i < j {
+                a.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..len / 2 {
+                    let w = omega_pow[k * step];
+                    let u = a[start + k];
+                    let v = mul_mod(a[start + k + len / 2], w, m);
+                    a[start + k] = add_mod(u, v, m);
+                    a[start + k + len / 2] = sub_mod(u, v, m);
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// In-place forward negacyclic NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length mismatch");
+        let m = self.modulus;
+        for (x, &p) in a.iter_mut().zip(&self.psi_pow) {
+            *x = mul_mod(*x, p, m);
+        }
+        self.core(a, &self.omega_pow);
+    }
+
+    /// In-place inverse negacyclic NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length mismatch");
+        let m = self.modulus;
+        self.core(a, &self.omega_inv_pow);
+        for (x, &p) in a.iter_mut().zip(&self.psi_inv_pow) {
+            *x = mul_mod(mul_mod(*x, p, m), self.n_inv, m);
+        }
+    }
+
+    /// Negacyclic product of two coefficient vectors.
+    pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        for (x, &y) in fa.iter_mut().zip(&fb) {
+            *x = mul_mod(*x, y, self.modulus);
+        }
+        self.inverse(&mut fa);
+        fa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::{BGV_Q1, BGV_Q2, BGV_Q_ROOTS};
+
+    #[test]
+    fn modular_helpers() {
+        assert_eq!(add_mod(5, 7, 11), 1);
+        assert_eq!(sub_mod(5, 7, 11), 9);
+        assert_eq!(mul_mod(u64::MAX % 97, u64::MAX % 97, 97), {
+            let r = (u64::MAX % 97) as u128;
+            ((r * r) % 97) as u64
+        });
+        assert_eq!(pow_mod(2, 10, 1_000_003), 1024);
+        assert_eq!(mul_mod(inv_mod(1234, BGV_Q1), 1234, BGV_Q1), 1);
+        assert_eq!(neg_mod(0, 7), 0);
+        assert_eq!(neg_mod(3, 7), 4);
+    }
+
+    #[test]
+    fn rt_ntt_roundtrip() {
+        for (&q, &r) in [BGV_Q1, BGV_Q2].iter().zip(&BGV_Q_ROOTS[..2]) {
+            let t = RtNttTable::new(128, q, r);
+            let orig: Vec<u64> = (0..128).map(|i| (i * i * 977 + 3) % q).collect();
+            let mut a = orig.clone();
+            t.forward(&mut a);
+            t.inverse(&mut a);
+            assert_eq!(a, orig);
+        }
+    }
+
+    #[test]
+    fn rt_matches_const_generic_ntt() {
+        use crate::fp::Fp;
+        use crate::ntt::NttTable;
+        let rt = RtNttTable::new(64, BGV_Q1, BGV_Q_ROOTS[0]);
+        let cg = NttTable::<BGV_Q1>::new(64, BGV_Q_ROOTS[0]);
+        let a: Vec<u64> = (0..64).map(|i| i * 31 + 1).collect();
+        let b: Vec<u64> = (0..64).map(|i| i * 17 + 5).collect();
+        let got = rt.negacyclic_mul(&a, &b);
+        let fa: Vec<Fp<BGV_Q1>> = a.iter().map(|&x| Fp::new(x)).collect();
+        let fb: Vec<Fp<BGV_Q1>> = b.iter().map(|&x| Fp::new(x)).collect();
+        let want: Vec<u64> = cg
+            .negacyclic_mul(&fa, &fb)
+            .iter()
+            .map(|x| x.value())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        let t = RtNttTable::new(8, BGV_Q1, BGV_Q_ROOTS[0]);
+        let mut a = vec![0u64; 8];
+        let mut b = vec![0u64; 8];
+        a[7] = 1;
+        b[1] = 1;
+        let c = t.negacyclic_mul(&a, &b);
+        assert_eq!(c[0], BGV_Q1 - 1);
+        assert!(c[1..].iter().all(|&x| x == 0));
+    }
+}

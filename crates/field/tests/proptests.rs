@@ -1,0 +1,99 @@
+//! Property-based tests for the field crate's core invariants.
+
+use arboretum_field::fixed::Fix;
+use arboretum_field::fp::Fp;
+use arboretum_field::ntt::{negacyclic_mul_naive, NttTable};
+use arboretum_field::primes::{BGV_Q1, BGV_Q_ROOTS, GOLDILOCKS};
+use proptest::prelude::*;
+
+type F = Fp<GOLDILOCKS>;
+type Fq = Fp<BGV_Q1>;
+
+proptest! {
+    #[test]
+    fn field_add_commutes(a in any::<u64>(), b in any::<u64>()) {
+        let (fa, fb) = (F::new(a), F::new(b));
+        prop_assert_eq!(fa + fb, fb + fa);
+    }
+
+    #[test]
+    fn field_mul_distributes(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (fa, fb, fc) = (F::new(a), F::new(b), F::new(c));
+        prop_assert_eq!(fa * (fb + fc), fa * fb + fa * fc);
+    }
+
+    #[test]
+    fn field_sub_is_add_neg(a in any::<u64>(), b in any::<u64>()) {
+        let (fa, fb) = (F::new(a), F::new(b));
+        prop_assert_eq!(fa - fb, fa + (-fb));
+    }
+
+    #[test]
+    fn field_inverse(a in 1..GOLDILOCKS) {
+        let fa = F::new(a);
+        if !fa.is_zero() {
+            prop_assert_eq!(fa * fa.inv(), F::ONE);
+        }
+    }
+
+    #[test]
+    fn field_pow_adds_exponents(a in 1..GOLDILOCKS, e1 in 0u64..1000, e2 in 0u64..1000) {
+        let fa = F::new(a);
+        prop_assert_eq!(fa.pow(e1) * fa.pow(e2), fa.pow(e1 + e2));
+    }
+
+    #[test]
+    fn ntt_roundtrip(coeffs in prop::collection::vec(any::<u64>(), 64)) {
+        let t = NttTable::<BGV_Q1>::new(64, BGV_Q_ROOTS[0]);
+        let orig: Vec<Fq> = coeffs.iter().map(|&c| Fq::new(c)).collect();
+        let mut a = orig.clone();
+        t.forward_negacyclic(&mut a);
+        t.inverse_negacyclic(&mut a);
+        prop_assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn ntt_mul_matches_naive(
+        a in prop::collection::vec(0u64..1_000_000, 16),
+        b in prop::collection::vec(0u64..1_000_000, 16),
+    ) {
+        let t = NttTable::<BGV_Q1>::new(16, BGV_Q_ROOTS[0]);
+        let fa: Vec<Fq> = a.iter().map(|&c| Fq::new(c)).collect();
+        let fb: Vec<Fq> = b.iter().map(|&c| Fq::new(c)).collect();
+        prop_assert_eq!(t.negacyclic_mul(&fa, &fb), negacyclic_mul_naive(&fa, &fb));
+    }
+
+    #[test]
+    fn fix_add_sub_roundtrip(a in -1_000_000_000i64..1_000_000_000, b in -1_000_000_000i64..1_000_000_000) {
+        let fa = Fix::from_raw(a).unwrap();
+        let fb = Fix::from_raw(b).unwrap();
+        prop_assert_eq!(fa + fb - fb, fa);
+    }
+
+    #[test]
+    fn fix_mul_matches_f64(a in -1000i64..1000, b in -1000i64..1000) {
+        let fa = Fix::from_int(a).unwrap();
+        let fb = Fix::from_int(b).unwrap();
+        prop_assert_eq!((fa * fb).to_f64(), (a * b) as f64);
+    }
+
+    #[test]
+    fn fix_exp2_monotone(a in -500_000i64..500_000, d in 1i64..100_000) {
+        let x = Fix::from_raw(a).unwrap();
+        let y = Fix::from_raw(a + d).unwrap();
+        prop_assert!(x.exp2().unwrap() <= y.exp2().unwrap());
+    }
+
+    #[test]
+    fn fix_log2_of_exp2(a in -400_000i64..400_000) {
+        let x = Fix::from_raw(a).unwrap();
+        let y = x.exp2().unwrap();
+        if y.raw() > 16 {
+            let back = y.log2().unwrap();
+            // Quantizing y to Q16 perturbs log2(y) by about 1/(y_raw ln 2),
+            // i.e. 94_548 / y_raw in raw units; allow that plus slack.
+            let tol = 16 + 2 * 94_548 / y.raw();
+            prop_assert!((back.raw() - a).abs() <= tol, "{} vs {}", back.raw(), a);
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Abstract syntax for Arboretum's query language (Figure 2).
+//!
+//! Analysts write queries as if the database were a local two-dimensional
+//! array `db[i][j]` (participant `i`, field `j`), with loops,
+//! conditionals, arrays, arithmetic/logical operators, and a set of
+//! high-level builtins (`sum`, `em`, `laplace`, ...) that the planner
+//! later expands into concrete implementations.
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            Self::Lt | Self::Le | Self::Gt | Self::Ge | Self::Eq | Self::Ne
+        )
+    }
+
+    /// Whether the operator is a logical connective.
+    pub fn is_logical(self) -> bool {
+        matches!(self, Self::And | Self::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `!`
+    Not,
+    /// Unary `-`
+    Neg,
+}
+
+/// Built-in functions (the high-level operators of §4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `sum(db)` — column sums over the database; `sum(arr)` — scalar sum.
+    Sum,
+    /// `max(arr)` — maximum element.
+    Max,
+    /// `argmax(arr)` — index of the maximum element.
+    ArgMax,
+    /// `em(scores, eps)` — exponential mechanism, returns a category index.
+    Em,
+    /// `emTopK(scores, k, eps)` — top-k selection, returns `k` indices.
+    EmTopK,
+    /// `emGap(scores, eps)` — EM with free gap, returns `[index, gap]`.
+    EmGap,
+    /// `laplace(value, sens, eps)` — Laplace mechanism.
+    Laplace,
+    /// `exp(x)` — exponential function (fixed point).
+    Exp,
+    /// `log(x)` — natural logarithm (fixed point).
+    Log,
+    /// `clip(x, lo, hi)` — range clipping.
+    Clip,
+    /// `sampleUniform(phi)` — switch the query to a secret `phi`-sample of
+    /// the population (secrecy of the sample).
+    SampleUniform,
+    /// `declassify(x)` — analyst assertion that `x` is safe to release.
+    Declassify,
+    /// `output(x)` — emit a query result.
+    Output,
+    /// `len(arr)` — array length.
+    Len,
+    /// `random(bound)` — uniform random integer in `[0, bound)`.
+    Random,
+}
+
+impl Builtin {
+    /// Parses a builtin name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "sum" => Self::Sum,
+            "max" => Self::Max,
+            "argmax" => Self::ArgMax,
+            "em" => Self::Em,
+            "emTopK" => Self::EmTopK,
+            "emGap" => Self::EmGap,
+            "laplace" => Self::Laplace,
+            "exp" => Self::Exp,
+            "log" => Self::Log,
+            "clip" => Self::Clip,
+            "sampleUniform" => Self::SampleUniform,
+            "declassify" => Self::Declassify,
+            "output" => Self::Output,
+            "len" => Self::Len,
+            "random" => Self::Random,
+            _ => return None,
+        })
+    }
+
+    /// The canonical source name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Sum => "sum",
+            Self::Max => "max",
+            Self::ArgMax => "argmax",
+            Self::Em => "em",
+            Self::EmTopK => "emTopK",
+            Self::EmGap => "emGap",
+            Self::Laplace => "laplace",
+            Self::Exp => "exp",
+            Self::Log => "log",
+            Self::Clip => "clip",
+            Self::SampleUniform => "sampleUniform",
+            Self::Declassify => "declassify",
+            Self::Output => "output",
+            Self::Len => "len",
+            Self::Random => "random",
+        }
+    }
+
+    /// Whether this builtin is a DP mechanism (consumes privacy budget
+    /// and releases its result).
+    pub fn is_mechanism(self) -> bool {
+        matches!(self, Self::Em | Self::EmTopK | Self::EmGap | Self::Laplace)
+    }
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Fixed-point literal (parsed from decimal notation).
+    Fix(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Var(String),
+    /// Indexing: `base[idx]` (chains for 2-D access).
+    Index(Box<Expr>, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Builtin call.
+    Call(Builtin, Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `var = expr`.
+    Assign(String, Expr),
+    /// `var[idx] = expr`.
+    IndexAssign(String, Expr, Expr),
+    /// `for var = from to to do body endfor` (inclusive bounds).
+    For {
+        /// Loop variable.
+        var: String,
+        /// Lower bound (inclusive).
+        from: Expr,
+        /// Upper bound (inclusive).
+        to: Expr,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// `if cond then ... else ... endif`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_branch: Vec<Stmt>,
+    },
+    /// A bare expression (e.g. an `output(...)` call).
+    Expr(Expr),
+}
+
+/// A complete query program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// Counts statements recursively (the paper's Table 2 "Lines" metric
+    /// is source lines; this is the structural analogue used in tests).
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::For { body, .. } => 1 + count(body),
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => 1 + count(then_branch) + count(else_branch),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.stmts)
+    }
+}
+
+/// The database schema the analyst declares alongside the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DbSchema {
+    /// Number of participants `N` (for planning, may be up to `2^30`+).
+    pub participants: u64,
+    /// Fields per participant row.
+    pub row_width: usize,
+    /// Smallest legal field value.
+    pub lo: i64,
+    /// Largest legal field value.
+    pub hi: i64,
+    /// Whether rows are one-hot encoded (exactly one field is 1, the
+    /// rest 0) — tightens sensitivity bounds and enables one-hot ZKPs.
+    pub one_hot: bool,
+}
+
+impl DbSchema {
+    /// A one-hot categorical schema over `categories` categories.
+    pub fn one_hot(participants: u64, categories: usize) -> Self {
+        Self {
+            participants,
+            row_width: categories,
+            lo: 0,
+            hi: 1,
+            one_hot: true,
+        }
+    }
+
+    /// A numerical schema with clipped per-field range.
+    pub fn numeric(participants: u64, row_width: usize, lo: i64, hi: i64) -> Self {
+        Self {
+            participants,
+            row_width,
+            lo,
+            hi,
+            one_hot: false,
+        }
+    }
+
+    /// L∞ sensitivity of the column-sum vector to one row change.
+    pub fn sum_linf_sensitivity(&self) -> f64 {
+        (self.hi - self.lo) as f64
+    }
+
+    /// L1 sensitivity of the column-sum vector to one row change.
+    pub fn sum_l1_sensitivity(&self) -> f64 {
+        if self.one_hot {
+            // One-hot row replacement moves one unit between two columns.
+            2.0
+        } else {
+            self.row_width as f64 * (self.hi - self.lo) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names_roundtrip() {
+        for b in [
+            Builtin::Sum,
+            Builtin::Max,
+            Builtin::ArgMax,
+            Builtin::Em,
+            Builtin::EmTopK,
+            Builtin::EmGap,
+            Builtin::Laplace,
+            Builtin::Exp,
+            Builtin::Log,
+            Builtin::Clip,
+            Builtin::SampleUniform,
+            Builtin::Declassify,
+            Builtin::Output,
+            Builtin::Len,
+            Builtin::Random,
+        ] {
+            assert_eq!(Builtin::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Builtin::from_name("nope"), None);
+    }
+
+    #[test]
+    fn mechanisms_flagged() {
+        assert!(Builtin::Em.is_mechanism());
+        assert!(Builtin::Laplace.is_mechanism());
+        assert!(!Builtin::Sum.is_mechanism());
+        assert!(!Builtin::Declassify.is_mechanism());
+    }
+
+    #[test]
+    fn schema_sensitivities() {
+        let one_hot = DbSchema::one_hot(1 << 30, 41_683);
+        assert_eq!(one_hot.sum_linf_sensitivity(), 1.0);
+        assert_eq!(one_hot.sum_l1_sensitivity(), 2.0);
+        let numeric = DbSchema::numeric(1000, 3, 0, 100);
+        assert_eq!(numeric.sum_linf_sensitivity(), 100.0);
+        assert_eq!(numeric.sum_l1_sensitivity(), 300.0);
+    }
+
+    #[test]
+    fn stmt_count_recurses() {
+        let p = Program {
+            stmts: vec![
+                Stmt::Assign("x".into(), Expr::Int(0)),
+                Stmt::For {
+                    var: "i".into(),
+                    from: Expr::Int(0),
+                    to: Expr::Int(9),
+                    body: vec![
+                        Stmt::Assign("x".into(), Expr::Var("i".into())),
+                        Stmt::If {
+                            cond: Expr::Bool(true),
+                            then_branch: vec![Stmt::Expr(Expr::Int(1))],
+                            else_branch: vec![],
+                        },
+                    ],
+                },
+            ],
+        };
+        assert_eq!(p.stmt_count(), 5);
+    }
+}

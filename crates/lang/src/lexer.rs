@@ -1,0 +1,338 @@
+//! Lexer for the query language.
+
+use std::fmt;
+
+/// Lexical tokens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal.
+    Float(f64),
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Keywords.
+    For,
+    /// `to`
+    To,
+    /// `do`
+    Do,
+    /// `endfor`
+    EndFor,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `endif`
+    EndIf,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A lexing error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the error.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes query-language source.
+///
+/// Supports `//` line comments and arbitrary whitespace.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unrecognized characters or malformed numbers.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit);
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    out.push(Token::Float(text.parse().map_err(|e| LexError {
+                        pos: start,
+                        message: format!("bad float {text}: {e}"),
+                    })?));
+                } else {
+                    let text = &src[start..i];
+                    out.push(Token::Int(text.parse().map_err(|e| LexError {
+                        pos: start,
+                        message: format!("bad integer {text}: {e}"),
+                    })?));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(match &src[start..i] {
+                    "for" => Token::For,
+                    "to" => Token::To,
+                    "do" => Token::Do,
+                    "endfor" => Token::EndFor,
+                    "if" => Token::If,
+                    "then" => Token::Then,
+                    "else" => Token::Else,
+                    "endif" => Token::EndIf,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    ident => Token::Ident(ident.to_string()),
+                });
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::EqEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Assign);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos: i,
+                        message: "single '&' (use '&&')".into(),
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos: i,
+                        message: "single '|' (use '||')".into(),
+                    });
+                }
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_top1_query() {
+        let toks = lex("aggr = sum(db);\nresult = em(aggr, 0.1);\noutput(result);").unwrap();
+        assert_eq!(toks[0], Token::Ident("aggr".into()));
+        assert_eq!(toks[1], Token::Assign);
+        assert_eq!(toks[2], Token::Ident("sum".into()));
+        assert!(toks.contains(&Token::Float(0.1)));
+        assert_eq!(*toks.last().unwrap(), Token::Semi);
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        let toks = lex("for forx to tox do dox endfor").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::For,
+                Token::Ident("forx".into()),
+                Token::To,
+                Token::Ident("tox".into()),
+                Token::Do,
+                Token::Ident("dox".into()),
+                Token::EndFor,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let toks = lex("a <= b >= c == d != e && f || !g").unwrap();
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::EqEq));
+        assert!(toks.contains(&Token::NotEq));
+        assert!(toks.contains(&Token::AndAnd));
+        assert!(toks.contains(&Token::OrOr));
+        assert!(toks.contains(&Token::Bang));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("x = 1; // the whole rest is ignored = 5\ny = 2;").unwrap();
+        assert_eq!(toks.len(), 8);
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        let toks = lex("42 3.25 7").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Int(42), Token::Float(3.25), Token::Int(7)]
+        );
+    }
+
+    #[test]
+    fn bad_characters_error_with_position() {
+        let err = lex("x = #").unwrap_err();
+        assert_eq!(err.pos, 4);
+        let err = lex("a & b").unwrap_err();
+        assert!(err.message.contains("&&"));
+    }
+}

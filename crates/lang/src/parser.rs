@@ -1,0 +1,448 @@
+//! Recursive-descent parser for the grammar of Figure 2.
+//!
+//! ```text
+//! stmt := stmt; stmt | var = exp | exp | var[exp] = exp |
+//!         for var = exp to exp do stmt endfor |
+//!         if exp then stmt else stmt endif
+//! exp  := exp op exp | var | var[exp] | func(exp, ...) | lit
+//! op   := + | - | * | / | && | || | < | <= | > | >= | ! | ==
+//! ```
+//!
+//! Operator precedence (loosest to tightest): `||`, `&&`, comparisons,
+//! `+ -`, `* /`, unary `! -`, postfix indexing.
+
+use crate::ast::{BinOp, Builtin, Expr, Program, Stmt, UnOp};
+use crate::lexer::{lex, LexError, Token};
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Token index of the error.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        Self {
+            at: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parses query-language source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmts = p.stmt_list(&[])?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing tokens after program"));
+    }
+    Ok(Program { stmts })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: format!("{msg} (next token: {:?})", self.tokens.get(self.pos)),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {t:?}")))
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses statements until one of `stops` (or end of input).
+    fn stmt_list(&mut self, stops: &[Token]) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                None => break,
+                Some(t) if stops.contains(t) => break,
+                _ => {}
+            }
+            out.push(self.stmt()?);
+            // Optional semicolons between statements.
+            while self.eat(&Token::Semi) {}
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Some(Token::For) => {
+                self.bump();
+                let var = self.ident()?;
+                self.expect(&Token::Assign)?;
+                let from = self.expr()?;
+                self.expect(&Token::To)?;
+                let to = self.expr()?;
+                self.expect(&Token::Do)?;
+                let body = self.stmt_list(&[Token::EndFor])?;
+                self.expect(&Token::EndFor)?;
+                Ok(Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                })
+            }
+            Some(Token::If) => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect(&Token::Then)?;
+                let then_branch = self.stmt_list(&[Token::Else, Token::EndIf])?;
+                let else_branch = if self.eat(&Token::Else) {
+                    self.stmt_list(&[Token::EndIf])?
+                } else {
+                    Vec::new()
+                };
+                self.expect(&Token::EndIf)?;
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            Some(Token::Ident(_)) => {
+                // Could be assignment, index assignment, or expression.
+                let save = self.pos;
+                let name = self.ident()?;
+                match self.peek() {
+                    Some(Token::Assign) => {
+                        self.bump();
+                        let value = self.expr()?;
+                        Ok(Stmt::Assign(name, value))
+                    }
+                    Some(Token::LBracket) => {
+                        self.bump();
+                        let idx = self.expr()?;
+                        self.expect(&Token::RBracket)?;
+                        if self.eat(&Token::Assign) {
+                            let value = self.expr()?;
+                            Ok(Stmt::IndexAssign(name, idx, value))
+                        } else {
+                            // It was an expression like x[i] + ...; rewind.
+                            self.pos = save;
+                            Ok(Stmt::Expr(self.expr()?))
+                        }
+                    }
+                    _ => {
+                        self.pos = save;
+                        Ok(Stmt::Expr(self.expr()?))
+                    }
+                }
+            }
+            Some(_) => Ok(Stmt::Expr(self.expr()?)),
+            None => Err(self.err("expected statement")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Token::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&Token::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            Some(Token::EqEq) => BinOp::Eq,
+            Some(Token::NotEq) => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::Bang) => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Not, Box::new(self.unary_expr()?)))
+            }
+            Some(Token::Minus) => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Neg, Box::new(self.unary_expr()?)))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.atom()?;
+        while self.eat(&Token::LBracket) {
+            let idx = self.expr()?;
+            self.expect(&Token::RBracket)?;
+            e = Expr::Index(Box::new(e), Box::new(idx));
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(Expr::Int(v)),
+            Some(Token::Float(v)) => Ok(Expr::Fix(v)),
+            Some(Token::True) => Ok(Expr::Bool(true)),
+            Some(Token::False) => Ok(Expr::Bool(false)),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if self.eat(&Token::LParen) {
+                    // Builtin call.
+                    let builtin = Builtin::from_name(&name)
+                        .ok_or_else(|| self.err(&format!("unknown function {name:?}")))?;
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Token::RParen) {
+                                break;
+                            }
+                            self.expect(&Token::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call(builtin, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err(&format!("unexpected token {other:?} in expression")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_running_example() {
+        // Figure 3: top1.
+        let p = parse(
+            "aggr = sum(db);\n\
+             result = em(aggr, 0.1);\n\
+             output(result);",
+        )
+        .unwrap();
+        assert_eq!(p.stmts.len(), 3);
+        assert!(matches!(&p.stmts[0], Stmt::Assign(n, Expr::Call(Builtin::Sum, _)) if n == "aggr"));
+        assert!(matches!(
+            &p.stmts[2],
+            Stmt::Expr(Expr::Call(Builtin::Output, _))
+        ));
+    }
+
+    #[test]
+    fn parses_loops_and_conditionals() {
+        let p = parse(
+            "x = 0;\n\
+             for i = 0 to 9 do\n\
+               if s[i] > s[x] then x = i; else x = x; endif\n\
+             endfor\n\
+             output(declassify(x));",
+        )
+        .unwrap();
+        assert_eq!(p.stmts.len(), 3);
+        match &p.stmts[1] {
+            Stmt::For { var, body, .. } => {
+                assert_eq!(var, "i");
+                assert!(matches!(&body[0], Stmt::If { .. }));
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let p = parse("x = 1 + 2 * 3;").unwrap();
+        match &p.stmts[0] {
+            Stmt::Assign(_, Expr::Bin(BinOp::Add, lhs, rhs)) => {
+                assert_eq!(**lhs, Expr::Int(1));
+                assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+        // Parentheses override.
+        let p = parse("x = (1 + 2) * 3;").unwrap();
+        assert!(matches!(
+            &p.stmts[0],
+            Stmt::Assign(_, Expr::Bin(BinOp::Mul, _, _))
+        ));
+    }
+
+    #[test]
+    fn comparisons_bind_looser_than_arithmetic() {
+        let p = parse("b = x + 1 < y * 2;").unwrap();
+        assert!(matches!(
+            &p.stmts[0],
+            Stmt::Assign(_, Expr::Bin(BinOp::Lt, _, _))
+        ));
+    }
+
+    #[test]
+    fn two_dimensional_indexing() {
+        let p = parse("v = db[i][j];").unwrap();
+        match &p.stmts[0] {
+            Stmt::Assign(_, Expr::Index(inner, _)) => {
+                assert!(matches!(**inner, Expr::Index(_, _)));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_assignment() {
+        let p = parse("es[i] = exp(x);").unwrap();
+        assert!(matches!(
+            &p.stmts[0],
+            Stmt::IndexAssign(n, _, Expr::Call(Builtin::Exp, _)) if n == "es"
+        ));
+    }
+
+    #[test]
+    fn index_read_as_expression_statement() {
+        // `x[i];` alone must parse as an expression, not an assignment.
+        let p = parse("x[3];").unwrap();
+        assert!(matches!(&p.stmts[0], Stmt::Expr(Expr::Index(_, _))));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let err = parse("x = frobnicate(1);").unwrap_err();
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unbalanced_constructs_rejected() {
+        assert!(parse("for i = 0 to 3 do x = 1;").is_err());
+        assert!(parse("if x > 1 then y = 2;").is_err());
+        assert!(parse("x = (1 + 2;").is_err());
+    }
+
+    #[test]
+    fn unary_operators() {
+        let p = parse("a = -x; b = !c;").unwrap();
+        assert!(matches!(
+            &p.stmts[0],
+            Stmt::Assign(_, Expr::Un(UnOp::Neg, _))
+        ));
+        assert!(matches!(
+            &p.stmts[1],
+            Stmt::Assign(_, Expr::Un(UnOp::Not, _))
+        ));
+    }
+}

@@ -1,0 +1,788 @@
+//! Differential-privacy certification (§4.2).
+//!
+//! A Fuzzi-style static analysis: conservative taint tracking from `db`
+//! (covering implicit flows through branches), sensitivity propagation
+//! through arithmetic with the ranges from [`crate::types`], and privacy-
+//! budget accounting at each mechanism call. A query certifies iff every
+//! `output` releases only mechanism-sanitized (or constant) data, and the
+//! total `(ε, δ)` cost is reported for the key-generation committee's
+//! budget check (§5.2).
+//!
+//! As in the paper, analysts whose queries defeat the automatic analysis
+//! (e.g. `median`'s rank scores, where the interval analysis is too
+//! coarse) may supply a declared sensitivity, CertiPriv-style, by passing
+//! the three-argument `em(scores, sens, eps)` form and enabling
+//! [`CertifyConfig::trust_declared_sensitivity`].
+
+use std::collections::HashMap;
+
+use arboretum_dp::budget::PrivacyCost;
+
+use crate::ast::{BinOp, Builtin, DbSchema, Expr, Program, Stmt, UnOp};
+use crate::types::{infer, Range, TypeError, TypedProgram};
+
+/// Sensitivity of a value to one participant's row change; `f64::INFINITY`
+/// means unbounded.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sens {
+    /// Whether the value is derived from `db` at all.
+    pub tainted: bool,
+    /// Worst-case change of any scalar element (L∞ for arrays).
+    pub linf: f64,
+    /// Worst-case total change across elements (L1 for arrays).
+    pub l1: f64,
+}
+
+impl Sens {
+    /// An untainted public value.
+    pub const PUBLIC: Self = Self {
+        tainted: false,
+        linf: 0.0,
+        l1: 0.0,
+    };
+
+    fn tainted(linf: f64, l1: f64) -> Self {
+        Self {
+            tainted: true,
+            linf,
+            l1,
+        }
+    }
+
+    fn join(self, other: Self) -> Self {
+        Self {
+            tainted: self.tainted || other.tainted,
+            linf: self.linf.max(other.linf),
+            l1: self.l1.max(other.l1),
+        }
+    }
+
+    fn add(self, other: Self) -> Self {
+        Self {
+            tainted: self.tainted || other.tainted,
+            linf: self.linf + other.linf,
+            l1: self.l1 + other.l1,
+        }
+    }
+}
+
+/// Configuration of the certifier.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CertifyConfig {
+    /// Accept analyst-declared sensitivities in 3-arg `em` forms even
+    /// when the static bound is coarser (CertiPriv-style external proof).
+    pub trust_declared_sensitivity: bool,
+    /// Permit `declassify` of tainted values (dangerous; off by default,
+    /// used only for planner-generated instantiations whose safety is
+    /// proven at the mechanism level).
+    pub allow_declassify: bool,
+}
+
+/// One mechanism invocation found during certification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MechanismUse {
+    /// Which mechanism.
+    pub builtin: Builtin,
+    /// The sensitivity used (declared or inferred).
+    pub sensitivity: f64,
+    /// The per-use privacy cost.
+    pub cost: PrivacyCost,
+}
+
+/// A successful certification.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// Total privacy cost of one query execution.
+    pub cost: PrivacyCost,
+    /// Mechanisms encountered, in program order.
+    pub mechanisms: Vec<MechanismUse>,
+    /// Sampling rate if the query uses secrecy of the sample.
+    pub sampling_rate: Option<f64>,
+}
+
+/// Certification failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertifyError {
+    /// The program is ill-typed.
+    Type(TypeError),
+    /// An `output` would release tainted data.
+    TaintedOutput {
+        /// Index of the offending output.
+        output_index: usize,
+    },
+    /// A mechanism was applied to data with unbounded sensitivity.
+    UnboundedSensitivity {
+        /// The mechanism.
+        mechanism: &'static str,
+    },
+    /// Declared sensitivity is lower than the inferred bound.
+    DeclaredSensitivityTooSmall {
+        /// What the analyst declared.
+        declared: f64,
+        /// What the analysis inferred.
+        inferred: f64,
+    },
+    /// `declassify` of tainted data without authorization.
+    ForbiddenDeclassify,
+    /// A mechanism parameter was malformed (e.g. non-literal epsilon).
+    BadMechanismParameter(&'static str),
+}
+
+impl std::fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Type(e) => write!(f, "{e}"),
+            Self::TaintedOutput { output_index } => {
+                write!(f, "output #{output_index} would release tainted data")
+            }
+            Self::UnboundedSensitivity { mechanism } => {
+                write!(f, "{mechanism} applied to data with unbounded sensitivity")
+            }
+            Self::DeclaredSensitivityTooSmall { declared, inferred } => write!(
+                f,
+                "declared sensitivity {declared} below inferred bound {inferred}"
+            ),
+            Self::ForbiddenDeclassify => write!(f, "declassify of tainted data is not permitted"),
+            Self::BadMechanismParameter(what) => write!(f, "bad mechanism parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+impl From<TypeError> for CertifyError {
+    fn from(e: TypeError) -> Self {
+        Self::Type(e)
+    }
+}
+
+struct Certifier<'a> {
+    schema: &'a DbSchema,
+    cfg: CertifyConfig,
+    typed: TypedProgram,
+    env: HashMap<String, Sens>,
+    mechanisms: Vec<MechanismUse>,
+    sampling_rate: Option<f64>,
+    output_index: usize,
+    /// Taint of the current control context (implicit flows).
+    pc_taint: bool,
+}
+
+/// Certifies a program as differentially private.
+///
+/// # Errors
+///
+/// Returns [`CertifyError`] describing the first violation.
+pub fn certify(
+    program: &Program,
+    schema: &DbSchema,
+    cfg: CertifyConfig,
+) -> Result<Certificate, CertifyError> {
+    let typed = infer(program, schema)?;
+    let mut c = Certifier {
+        schema,
+        cfg,
+        typed,
+        env: HashMap::new(),
+        mechanisms: Vec::new(),
+        sampling_rate: None,
+        output_index: 0,
+        pc_taint: false,
+    };
+    c.env.insert(
+        "db".into(),
+        Sens::tainted((schema.hi - schema.lo) as f64, schema.sum_l1_sensitivity()),
+    );
+    c.block(&program.stmts)?;
+    let mut cost = c
+        .mechanisms
+        .iter()
+        .fold(PrivacyCost::pure(0.0), |acc, m| acc.compose(m.cost));
+    if let Some(phi) = c.sampling_rate {
+        cost = cost.amplify_by_sampling(phi);
+    }
+    Ok(Certificate {
+        cost,
+        mechanisms: c.mechanisms,
+        sampling_rate: c.sampling_rate,
+    })
+}
+
+impl Certifier<'_> {
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), CertifyError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), CertifyError> {
+        match stmt {
+            Stmt::Assign(name, e) => {
+                let mut s = self.expr(e)?;
+                s.tainted |= self.pc_taint;
+                self.env.insert(name.clone(), s);
+                Ok(())
+            }
+            Stmt::IndexAssign(name, idx, value) => {
+                let si = self.expr(idx)?;
+                let mut sv = self.expr(value)?;
+                sv.tainted |= self.pc_taint || si.tainted;
+                let entry = self.env.entry(name.clone()).or_insert(Sens::PUBLIC);
+                // Array slots share one abstract sensitivity cell; writes
+                // join. L1 across slots accumulates additively in the
+                // worst case, approximated by the per-write L1 sum.
+                *entry = Sens {
+                    tainted: entry.tainted || sv.tainted,
+                    linf: entry.linf.max(sv.linf),
+                    l1: entry.l1 + sv.l1,
+                };
+                Ok(())
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                let sf = self.expr(from)?;
+                let st = self.expr(to)?;
+                self.env.insert(
+                    var.clone(),
+                    Sens {
+                        tainted: sf.tainted || st.tainted,
+                        linf: 0.0,
+                        l1: 0.0,
+                    },
+                );
+                // Fixpoint with linear extrapolation, mirroring the range
+                // analysis: iterate the body a few times; sensitivities
+                // still growing are scaled by the iteration count.
+                let iters = self.loop_iterations(from, to);
+                // Mechanisms inside the loop fire once per iteration:
+                // record them on the first pass only, then scale their
+                // privacy charges by the iteration count (sequential
+                // composition).
+                let mech_before = self.mechanisms.len();
+                let mut prev = self.env.clone();
+                const PASSES: usize = 3;
+                for pass in 0..PASSES {
+                    let mech_pass_start = self.mechanisms.len();
+                    self.block(body)?;
+                    if pass > 0 {
+                        self.mechanisms.truncate(mech_pass_start);
+                    }
+                    if pass > 0 {
+                        let keys: Vec<String> = self.env.keys().cloned().collect();
+                        let mut changed = false;
+                        for k in keys {
+                            let cur = self.env[&k];
+                            if let Some(&p) = prev.get(&k) {
+                                if p != cur {
+                                    changed = true;
+                                    let d_linf = (cur.linf - p.linf).max(0.0);
+                                    let d_l1 = (cur.l1 - p.l1).max(0.0);
+                                    self.env.insert(
+                                        k,
+                                        Sens {
+                                            tainted: cur.tainted,
+                                            linf: p.linf + d_linf * iters,
+                                            l1: p.l1 + d_l1 * iters,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                        if !changed {
+                            break;
+                        }
+                    }
+                    prev = self.env.clone();
+                }
+                if iters.is_finite() {
+                    for m in &mut self.mechanisms[mech_before..] {
+                        m.cost.epsilon *= iters;
+                        m.cost.delta *= iters;
+                    }
+                } else if self.mechanisms.len() > mech_before {
+                    return Err(CertifyError::BadMechanismParameter(
+                        "mechanism inside a loop with unbounded iteration count",
+                    ));
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let sc = self.expr(cond)?;
+                let saved_pc = self.pc_taint;
+                self.pc_taint |= sc.tainted;
+                let before = self.env.clone();
+                self.block(then_branch)?;
+                let then_env = std::mem::replace(&mut self.env, before);
+                self.block(else_branch)?;
+                // Join the two branch environments.
+                for (k, v) in then_env {
+                    let merged = self.env.get(&k).map(|&e| e.join(v)).unwrap_or(v);
+                    self.env.insert(k, merged);
+                }
+                self.pc_taint = saved_pc;
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                if let Expr::Call(Builtin::Output, args) = e {
+                    for a in args {
+                        let s = self.expr(a)?;
+                        if s.tainted {
+                            return Err(CertifyError::TaintedOutput {
+                                output_index: self.output_index,
+                            });
+                        }
+                        self.output_index += 1;
+                    }
+                    Ok(())
+                } else {
+                    self.expr(e).map(|_| ())
+                }
+            }
+        }
+    }
+
+    fn loop_iterations(&self, from: &Expr, to: &Expr) -> f64 {
+        let bound = |e: &Expr, hi: bool| -> Option<i128> {
+            match e {
+                Expr::Int(v) => Some(*v as i128),
+                Expr::Var(name) => {
+                    self.typed
+                        .vars
+                        .get(name)
+                        .map(|t| if hi { t.range.hi } else { t.range.lo })
+                }
+                Expr::Call(Builtin::Len, _) => Some(self.schema.row_width as i128),
+                _ => None,
+            }
+        };
+        match (bound(from, false), bound(to, true)) {
+            (Some(a), Some(b)) if b >= a => (b - a + 1) as f64,
+            _ => f64::INFINITY,
+        }
+    }
+
+    fn magnitude(&self, e: &Expr) -> f64 {
+        // Best-effort magnitude bound from the range analysis.
+        fn walk(e: &Expr, vars: &HashMap<String, crate::types::TypeInfo>) -> Range {
+            match e {
+                Expr::Int(v) => Range::point(*v as i128),
+                Expr::Var(n) => vars.get(n).map(|t| t.range).unwrap_or(Range::FULL),
+                Expr::Index(b, _) => walk(b, vars),
+                _ => Range::FULL,
+            }
+        }
+        walk(e, &self.typed.vars).magnitude() as f64
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Sens, CertifyError> {
+        match e {
+            Expr::Int(_) | Expr::Fix(_) | Expr::Bool(_) => Ok(Sens::PUBLIC),
+            Expr::Var(name) => Ok(self.env.get(name).copied().unwrap_or(Sens::PUBLIC)),
+            Expr::Index(base, idx) => {
+                let sb = self.expr(base)?;
+                let si = self.expr(idx)?;
+                Ok(sb.join(Sens {
+                    tainted: si.tainted,
+                    linf: 0.0,
+                    l1: 0.0,
+                }))
+            }
+            Expr::Un(UnOp::Neg | UnOp::Not, inner) => self.expr(inner),
+            Expr::Bin(op, l, r) => {
+                let sl = self.expr(l)?;
+                let sr = self.expr(r)?;
+                Ok(match op {
+                    BinOp::Add | BinOp::Sub => sl.add(sr),
+                    BinOp::Mul => {
+                        if !sl.tainted && !sr.tainted {
+                            Sens::PUBLIC
+                        } else {
+                            // |ab - a'b'| <= |a|max·s_b + |b|max·s_a.
+                            let ml = self.magnitude(l);
+                            let mr = self.magnitude(r);
+                            Sens::tainted(ml * sr.linf + mr * sl.linf, ml * sr.l1 + mr * sl.l1)
+                        }
+                    }
+                    BinOp::Div => {
+                        if !sl.tainted && !sr.tainted {
+                            Sens::PUBLIC
+                        } else if !sr.tainted {
+                            // Dividing by a public value of magnitude >= 1
+                            // cannot grow sensitivity.
+                            sl
+                        } else {
+                            Sens::tainted(f64::INFINITY, f64::INFINITY)
+                        }
+                    }
+                    // Comparisons: a flipped comparison flips a bit.
+                    _ => {
+                        if sl.tainted || sr.tainted {
+                            Sens::tainted(1.0, 1.0)
+                        } else {
+                            Sens::PUBLIC
+                        }
+                    }
+                })
+            }
+            Expr::Call(builtin, args) => self.call(*builtin, args),
+        }
+    }
+
+    fn literal_f64(arg: &Expr) -> Option<f64> {
+        match arg {
+            Expr::Fix(v) => Some(*v),
+            Expr::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    fn mechanism(
+        &mut self,
+        builtin: Builtin,
+        scores: Sens,
+        declared_sens: Option<f64>,
+        eps: f64,
+        k: usize,
+    ) -> Result<Sens, CertifyError> {
+        let inferred = scores.linf;
+        let sens = match declared_sens {
+            Some(d) => {
+                if !self.cfg.trust_declared_sensitivity && d < inferred {
+                    return Err(CertifyError::DeclaredSensitivityTooSmall {
+                        declared: d,
+                        inferred,
+                    });
+                }
+                d
+            }
+            None => inferred,
+        };
+        if !sens.is_finite() || sens <= 0.0 && scores.tainted {
+            return Err(CertifyError::UnboundedSensitivity {
+                mechanism: builtin.name(),
+            });
+        }
+        let cost = match builtin {
+            Builtin::EmTopK => PrivacyCost::top_k_oneshot(eps, k),
+            _ => PrivacyCost::pure(eps),
+        };
+        self.mechanisms.push(MechanismUse {
+            builtin,
+            sensitivity: sens,
+            cost,
+        });
+        Ok(Sens::PUBLIC)
+    }
+
+    fn call(&mut self, builtin: Builtin, args: &[Expr]) -> Result<Sens, CertifyError> {
+        // Evaluate argument sensitivities first.
+        let sens_args: Vec<Sens> = args
+            .iter()
+            .map(|a| self.expr(a))
+            .collect::<Result<_, _>>()?;
+        match builtin {
+            Builtin::Sum => {
+                let s = sens_args[0];
+                if !s.tainted {
+                    return Ok(Sens::PUBLIC);
+                }
+                // Summing the database: the schema's sensitivities. Summing
+                // a derived array: L1 of the array bounds the sum change.
+                let over_db = match &args[0] {
+                    Expr::Var(n) => self
+                        .typed
+                        .vars
+                        .get(n)
+                        .is_some_and(|t| t.ty == crate::types::Ty::Db),
+                    Expr::Call(Builtin::SampleUniform, _) => true,
+                    _ => false,
+                };
+                if over_db {
+                    Ok(Sens::tainted(
+                        self.schema.sum_linf_sensitivity(),
+                        self.schema.sum_l1_sensitivity(),
+                    ))
+                } else {
+                    Ok(Sens::tainted(s.l1, s.l1))
+                }
+            }
+            Builtin::Max | Builtin::ArgMax => {
+                let s = sens_args[0];
+                if !s.tainted {
+                    Ok(Sens::PUBLIC)
+                } else if builtin == Builtin::Max {
+                    Ok(Sens::tainted(s.linf, s.linf))
+                } else {
+                    // The argmax index can jump arbitrarily.
+                    Ok(Sens::tainted(f64::INFINITY, f64::INFINITY))
+                }
+            }
+            Builtin::Em | Builtin::EmGap => {
+                let (declared, eps) = match args.len() {
+                    2 => (
+                        None,
+                        Self::literal_f64(&args[1]).ok_or(CertifyError::BadMechanismParameter(
+                            "epsilon must be a literal",
+                        ))?,
+                    ),
+                    3 => (
+                        Some(Self::literal_f64(&args[1]).ok_or(
+                            CertifyError::BadMechanismParameter("sens must be a literal"),
+                        )?),
+                        Self::literal_f64(&args[2]).ok_or(CertifyError::BadMechanismParameter(
+                            "epsilon must be a literal",
+                        ))?,
+                    ),
+                    _ => return Err(CertifyError::BadMechanismParameter("arity")),
+                };
+                self.mechanism(builtin, sens_args[0], declared, eps, 1)
+            }
+            Builtin::EmTopK => {
+                let k = match args[1] {
+                    Expr::Int(k) if k > 0 => k as usize,
+                    _ => return Err(CertifyError::BadMechanismParameter("k must be a literal")),
+                };
+                let (declared, eps) = match args.len() {
+                    3 => (
+                        None,
+                        Self::literal_f64(&args[2]).ok_or(CertifyError::BadMechanismParameter(
+                            "epsilon must be a literal",
+                        ))?,
+                    ),
+                    4 => (
+                        Some(Self::literal_f64(&args[2]).ok_or(
+                            CertifyError::BadMechanismParameter("sens must be a literal"),
+                        )?),
+                        Self::literal_f64(&args[3]).ok_or(CertifyError::BadMechanismParameter(
+                            "epsilon must be a literal",
+                        ))?,
+                    ),
+                    _ => return Err(CertifyError::BadMechanismParameter("arity")),
+                };
+                self.mechanism(builtin, sens_args[0], declared, eps, k)
+            }
+            Builtin::Laplace => {
+                let declared = Self::literal_f64(&args[1]).ok_or(
+                    CertifyError::BadMechanismParameter("sens must be a literal"),
+                )?;
+                let eps = Self::literal_f64(&args[2]).ok_or(
+                    CertifyError::BadMechanismParameter("epsilon must be a literal"),
+                )?;
+                self.mechanism(builtin, sens_args[0], Some(declared), eps, 1)
+            }
+            Builtin::Clip => {
+                let s = sens_args[0];
+                let (lo, hi) = match (&args[1], &args[2]) {
+                    (Expr::Int(a), Expr::Int(b)) => (*a as f64, *b as f64),
+                    _ => return Ok(s),
+                };
+                Ok(Sens {
+                    tainted: s.tainted,
+                    linf: s.linf.min(hi - lo),
+                    l1: s.l1.min(hi - lo),
+                })
+            }
+            Builtin::SampleUniform => {
+                let phi = Self::literal_f64(&args[0]).ok_or(
+                    CertifyError::BadMechanismParameter("sampling rate must be a literal"),
+                )?;
+                if !(0.0..=1.0).contains(&phi) {
+                    return Err(CertifyError::BadMechanismParameter(
+                        "sampling rate out of [0, 1]",
+                    ));
+                }
+                self.sampling_rate = Some(phi);
+                Ok(self.env["db"])
+            }
+            Builtin::Declassify => {
+                if sens_args[0].tainted && !self.cfg.allow_declassify {
+                    return Err(CertifyError::ForbiddenDeclassify);
+                }
+                Ok(Sens::PUBLIC)
+            }
+            Builtin::Output => Ok(sens_args[0]),
+            Builtin::Exp | Builtin::Log => {
+                // Transcendentals of tainted inputs: unbounded without
+                // range-restricted Lipschitz reasoning; keep conservative.
+                let s = sens_args[0];
+                if s.tainted {
+                    Ok(Sens::tainted(f64::INFINITY, f64::INFINITY))
+                } else {
+                    Ok(Sens::PUBLIC)
+                }
+            }
+            Builtin::Len | Builtin::Random => Ok(Sens::PUBLIC),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn schema() -> DbSchema {
+        DbSchema::one_hot(1 << 20, 10)
+    }
+
+    fn cert(src: &str) -> Result<Certificate, CertifyError> {
+        certify(&parse(src).unwrap(), &schema(), CertifyConfig::default())
+    }
+
+    #[test]
+    fn top1_certifies_with_correct_epsilon() {
+        let c = cert("aggr = sum(db); result = em(aggr, 0.1); output(result);").unwrap();
+        assert!((c.cost.epsilon - 0.1).abs() < 1e-12);
+        assert_eq!(c.mechanisms.len(), 1);
+        assert_eq!(c.mechanisms[0].builtin, Builtin::Em);
+        // One-hot sums have L∞ sensitivity 1.
+        assert_eq!(c.mechanisms[0].sensitivity, 1.0);
+    }
+
+    #[test]
+    fn raw_output_rejected() {
+        let e = cert("aggr = sum(db); output(aggr);").unwrap_err();
+        assert!(matches!(e, CertifyError::TaintedOutput { output_index: 0 }));
+    }
+
+    #[test]
+    fn raw_db_output_rejected() {
+        let e = cert("output(db[0][0]);").unwrap_err();
+        assert!(matches!(e, CertifyError::TaintedOutput { .. }));
+    }
+
+    #[test]
+    fn implicit_flow_caught() {
+        // Branching on tainted data taints assignments inside.
+        let e = cert(
+            "aggr = sum(db);\n\
+             if aggr[0] > 100 then x = 1; else x = 0; endif\n\
+             output(x);",
+        )
+        .unwrap_err();
+        assert!(matches!(e, CertifyError::TaintedOutput { .. }));
+    }
+
+    #[test]
+    fn declassify_rejected_by_default() {
+        let e = cert("aggr = sum(db); output(declassify(aggr[0]));").unwrap_err();
+        assert_eq!(e, CertifyError::ForbiddenDeclassify);
+    }
+
+    #[test]
+    fn composition_adds_epsilons() {
+        let c = cert(
+            "aggr = sum(db);\n\
+             a = em(aggr, 0.1);\n\
+             b = laplace(aggr[0], 1, 0.2);\n\
+             output(a); output(b);",
+        )
+        .unwrap();
+        assert!((c.cost.epsilon - 0.3).abs() < 1e-9);
+        assert_eq!(c.mechanisms.len(), 2);
+    }
+
+    #[test]
+    fn top_k_costs_sqrt_k() {
+        let c = cert("aggr = sum(db); t = emTopK(aggr, 4, 0.1); output(t);").unwrap();
+        assert!((c.cost.epsilon - 0.2).abs() < 1e-9, "{}", c.cost.epsilon);
+    }
+
+    #[test]
+    fn sampling_amplification_applied() {
+        let full = cert("aggr = sum(db); r = em(aggr, 1.0); output(r);").unwrap();
+        let sampled = cert(
+            "sdb = sampleUniform(0.01);\n\
+             aggr = sum(sdb);\n\
+             r = em(aggr, 1.0);\n\
+             output(r);",
+        )
+        .unwrap();
+        assert_eq!(sampled.sampling_rate, Some(0.01));
+        assert!(
+            sampled.cost.epsilon < full.cost.epsilon / 10.0,
+            "amplified {} vs {}",
+            sampled.cost.epsilon,
+            full.cost.epsilon
+        );
+    }
+
+    #[test]
+    fn laplace_underdeclared_sensitivity_rejected() {
+        // Numeric schema: per-field range 0..100, so the sum has L∞
+        // sensitivity 100; declaring 1 must be rejected.
+        let p = parse("aggr = sum(db); x = laplace(aggr[0], 1, 0.1); output(x);").unwrap();
+        let s = DbSchema::numeric(1000, 4, 0, 100);
+        let e = certify(&p, &s, CertifyConfig::default()).unwrap_err();
+        assert!(matches!(
+            e,
+            CertifyError::DeclaredSensitivityTooSmall { declared, .. } if declared == 1.0
+        ));
+    }
+
+    #[test]
+    fn trusted_declaration_accepted() {
+        let p = parse("aggr = sum(db); x = laplace(aggr[0], 1, 0.1); output(x);").unwrap();
+        let s = DbSchema::numeric(1000, 4, 0, 100);
+        let cfg = CertifyConfig {
+            trust_declared_sensitivity: true,
+            ..Default::default()
+        };
+        let c = certify(&p, &s, cfg).unwrap();
+        assert_eq!(c.mechanisms[0].sensitivity, 1.0);
+    }
+
+    #[test]
+    fn postprocessing_of_mechanism_output_is_free() {
+        let c = cert(
+            "aggr = sum(db);\n\
+             r = em(aggr, 0.1);\n\
+             s = r * 2 + 1;\n\
+             output(s);",
+        )
+        .unwrap();
+        assert!((c.cost.epsilon - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplication_scales_sensitivity() {
+        // aggr[0] has linf sens 1 and magnitude up to 2^20; multiplying
+        // two tainted values must blow up the bound; em over it still
+        // works but with large sensitivity... verify via laplace check.
+        let e = cert(
+            "aggr = sum(db);\n\
+             prod = aggr[0] * aggr[1];\n\
+             x = laplace(prod, 1, 0.1);\n\
+             output(x);",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            CertifyError::DeclaredSensitivityTooSmall { .. }
+        ));
+    }
+
+    #[test]
+    fn division_by_tainted_unbounded() {
+        let e = cert(
+            "aggr = sum(db);\n\
+             q = aggr[0] / aggr[1];\n\
+             x = laplace(q, 1000000, 0.1);\n\
+             output(x);",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            CertifyError::DeclaredSensitivityTooSmall { .. }
+        ));
+    }
+}

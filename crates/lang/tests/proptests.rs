@@ -1,0 +1,103 @@
+//! Property-based tests for the query language.
+
+use arboretum_lang::ast::DbSchema;
+use arboretum_lang::interp::{Interp, Value};
+use arboretum_lang::parser::parse;
+use arboretum_lang::privacy::{certify, CertifyConfig};
+use arboretum_lang::types::infer;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arithmetic_expressions_evaluate_like_rust(a in -1000i64..1000, b in -1000i64..1000, c in 1i64..100) {
+        let src = format!("x = ({a} + {b}) * {c} - {a} / {c}; output(x);");
+        let p = parse(&src).unwrap();
+        let db = vec![vec![0i64]];
+        let out = Interp::new(&db, 0).run(&p).unwrap();
+        let want = (a + b) * c - a / c;
+        prop_assert_eq!(out, vec![Value::Int(want)]);
+    }
+
+    #[test]
+    fn interpreter_respects_ranges(counts in prop::collection::vec(0usize..30, 2..6), seed in any::<u64>()) {
+        // sum(db) over a one-hot database always equals the histogram,
+        // and type inference's range covers every observed value.
+        let k = counts.len();
+        let db: Vec<Vec<i64>> = counts
+            .iter()
+            .enumerate()
+            .flat_map(|(c, &n)| std::iter::repeat_with(move || {
+                let mut row = vec![0i64; k];
+                row[c] = 1;
+                row
+            }).take(n))
+            .collect();
+        if db.is_empty() {
+            return Ok(());
+        }
+        let src = "a = sum(db); output(a);";
+        let p = parse(src).unwrap();
+        let out = Interp::new(&db, seed).run(&p).unwrap();
+        let Value::IntArray(got) = &out[0] else { panic!("expected array") };
+        for (g, &w) in got.iter().zip(&counts) {
+            prop_assert_eq!(*g, w as i64);
+        }
+        let schema = DbSchema::one_hot(db.len() as u64, k);
+        let t = infer(&p, &schema).unwrap();
+        let r = t.vars["a"].range;
+        for &g in got {
+            prop_assert!(r.lo <= g as i128 && g as i128 <= r.hi);
+        }
+    }
+
+    #[test]
+    fn loops_compute_closed_forms(n in 1i64..60) {
+        // Sum of 1..n via a loop equals n(n+1)/2.
+        let src = format!(
+            "s = 0; for i = 1 to {n} do s = s + i; endfor output(s);"
+        );
+        let p = parse(&src).unwrap();
+        let db = vec![vec![0i64]];
+        let out = Interp::new(&db, 0).run(&p).unwrap();
+        prop_assert_eq!(out, vec![Value::Int(n * (n + 1) / 2)]);
+    }
+
+    #[test]
+    fn certification_epsilon_matches_literal(eps_m in 1u32..40) {
+        let eps = eps_m as f64 / 10.0;
+        let src = format!("a = sum(db); r = em(a, {eps:.1}); output(r);");
+        let p = parse(&src).unwrap();
+        let schema = DbSchema::one_hot(1000, 4);
+        let cert = certify(&p, &schema, CertifyConfig::default()).unwrap();
+        prop_assert!((cert.cost.epsilon - eps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tainted_outputs_always_rejected(col in 0usize..4) {
+        // No matter which column, releasing a raw sum must fail.
+        let src = format!("a = sum(db); output(a[{col}]);");
+        let p = parse(&src).unwrap();
+        let schema = DbSchema::one_hot(1000, 4);
+        prop_assert!(certify(&p, &schema, CertifyConfig::default()).is_err());
+    }
+
+    #[test]
+    fn parse_print_structures_stable(n_stmts in 1usize..10) {
+        // Programs of repeated well-formed statements parse to the
+        // expected statement count.
+        let src = (0..n_stmts)
+            .map(|i| format!("x{i} = {i} + 1;"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let p = parse(&src).unwrap();
+        prop_assert_eq!(p.stmts.len(), n_stmts);
+    }
+
+    #[test]
+    fn garbage_never_panics(src in "[a-z0-9 =+*();\\[\\]<>!&|{}.\"'-]{0,80}") {
+        // The parser returns errors, never panics, on arbitrary input.
+        let _ = parse(&src);
+    }
+}

@@ -1,0 +1,423 @@
+//! The honest-majority MPC engine.
+//!
+//! Simulates an `m`-party SPDZ-wise-Shamir computation in-process: secrets
+//! live as degree-`t` Shamir share vectors, linear operations are local,
+//! multiplications consume Beaver triples, and every communication step is
+//! metered through [`crate::network::NetMeter`]. Triples and random bits
+//! come from a dealer, standing in for the DN07-style preprocessing of the
+//! real protocol; the `malicious` flag applies the SPDZ-wise overhead
+//! (doubled share material and verification opens) to the meter, exactly
+//! the quantity the paper's cost model needs (§4.6, §6).
+
+use arboretum_field::FGold;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::network::{NetMeter, FIELD_BYTES};
+use crate::shamir::{reconstruct, share, Share};
+
+/// A secret-shared field element (all parties' shares, simulation-side).
+#[derive(Clone, Debug)]
+pub struct Shared {
+    /// Share values, indexed by party (0-based; evaluation point is
+    /// `party + 1`).
+    pub shares: Vec<FGold>,
+}
+
+/// Errors from engine operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpcError {
+    /// An opening failed to reconstruct.
+    OpenFailed(String),
+    /// Operand widths differ.
+    PartyMismatch,
+}
+
+impl std::fmt::Display for MpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::OpenFailed(e) => write!(f, "open failed: {e}"),
+            Self::PartyMismatch => write!(f, "operand party counts differ"),
+        }
+    }
+}
+
+impl std::error::Error for MpcError {}
+
+/// The MPC engine for one committee.
+#[derive(Debug)]
+pub struct MpcEngine {
+    /// Number of parties `m`.
+    pub m: usize,
+    /// Corruption threshold `t` (honest majority: `t < m / 2`).
+    pub t: usize,
+    /// Whether SPDZ-wise malicious-security overheads are metered.
+    pub malicious: bool,
+    /// The communication meter.
+    pub net: NetMeter,
+    rng: StdRng,
+}
+
+#[allow(clippy::should_implement_trait)] // Protocol ops named add/sub/mul by convention.
+impl MpcEngine {
+    /// Creates an engine with `m` parties tolerating `t` corruptions.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < m` and `t < m / 2 + m % 2` (honest majority).
+    pub fn new(m: usize, t: usize, malicious: bool, seed: u64) -> Self {
+        assert!(m > 0, "need at least one party");
+        assert!(
+            2 * t < m,
+            "honest majority requires 2t < m (got t={t}, m={m})"
+        );
+        Self {
+            m,
+            t,
+            malicious,
+            net: NetMeter::new(m),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn byte_factor(&self) -> u64 {
+        // SPDZ-wise Shamir transmits a MAC-like second share per value.
+        if self.malicious {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Secret-shares an input value contributed by `party`.
+    ///
+    /// Meters one round in which the input party sends one share to every
+    /// other party.
+    pub fn input(&mut self, party: usize, v: FGold) -> Shared {
+        let shares = share(v, self.t, self.m, &mut self.rng);
+        self.net.send(
+            party,
+            (self.m as u64 - 1) * FIELD_BYTES as u64 * self.byte_factor(),
+        );
+        self.net.round();
+        Shared {
+            shares: shares.into_iter().map(|s| s.y).collect(),
+        }
+    }
+
+    /// Secret-shares a dealer/preprocessing value (no online cost).
+    pub fn dealer_share(&mut self, v: FGold) -> Shared {
+        let shares = share(v, self.t, self.m, &mut self.rng);
+        Shared {
+            shares: shares.into_iter().map(|s| s.y).collect(),
+        }
+    }
+
+    /// Opens (publicly reconstructs) a batch of shared values.
+    ///
+    /// King-based opening: every party sends its shares to party 0, who
+    /// reconstructs and broadcasts. Two rounds regardless of batch size.
+    pub fn open_batch(&mut self, xs: &[&Shared]) -> Result<Vec<FGold>, MpcError> {
+        let k = xs.len() as u64;
+        let per_val = FIELD_BYTES as u64 * self.byte_factor();
+        // Parties → king.
+        for p in 1..self.m {
+            self.net.send(p, k * per_val);
+        }
+        self.net.round();
+        // King → parties.
+        self.net.send(0, k * per_val * (self.m as u64 - 1));
+        self.net.round();
+        if self.malicious {
+            // Consistency check: all parties cross-verify the openings.
+            self.net.send_all(k * per_val);
+            self.net.round();
+        }
+        xs.iter()
+            .map(|x| {
+                self.net.metrics.opens += 1;
+                let shares: Vec<Share> = x
+                    .shares
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &y)| Share { x: i as u64 + 1, y })
+                    .collect();
+                reconstruct(&shares, self.t).map_err(|e| MpcError::OpenFailed(e.to_string()))
+            })
+            .collect()
+    }
+
+    /// Opens a single value.
+    pub fn open(&mut self, x: &Shared) -> Result<FGold, MpcError> {
+        Ok(self.open_batch(&[x])?[0])
+    }
+
+    /// Local addition of shares.
+    pub fn add(&self, a: &Shared, b: &Shared) -> Shared {
+        Shared {
+            shares: a
+                .shares
+                .iter()
+                .zip(&b.shares)
+                .map(|(&x, &y)| x + y)
+                .collect(),
+        }
+    }
+
+    /// Local subtraction.
+    pub fn sub(&self, a: &Shared, b: &Shared) -> Shared {
+        Shared {
+            shares: a
+                .shares
+                .iter()
+                .zip(&b.shares)
+                .map(|(&x, &y)| x - y)
+                .collect(),
+        }
+    }
+
+    /// Local addition of a public constant (added to the degree-0 term by
+    /// every party).
+    pub fn add_const(&self, a: &Shared, c: FGold) -> Shared {
+        // Adding a public constant to a Shamir sharing adds it to every
+        // share (the constant polynomial).
+        Shared {
+            shares: a.shares.iter().map(|&x| x + c).collect(),
+        }
+    }
+
+    /// Local multiplication by a public constant.
+    pub fn mul_const(&self, a: &Shared, c: FGold) -> Shared {
+        Shared {
+            shares: a.shares.iter().map(|&x| x * c).collect(),
+        }
+    }
+
+    /// The sharing of zero.
+    pub fn zero(&self) -> Shared {
+        Shared {
+            shares: vec![FGold::ZERO; self.m],
+        }
+    }
+
+    /// A public constant as a (degenerate) sharing.
+    pub fn constant(&self, c: FGold) -> Shared {
+        Shared {
+            shares: vec![c; self.m],
+        }
+    }
+
+    /// Multiplies batches of pairs with Beaver triples, batching all the
+    /// masked openings into one round trip.
+    pub fn mul_batch(&mut self, pairs: &[(&Shared, &Shared)]) -> Result<Vec<Shared>, MpcError> {
+        let k = pairs.len();
+        // Dealer triples.
+        let triples: Vec<(Shared, Shared, Shared, FGold, FGold)> = (0..k)
+            .map(|_| {
+                let a = FGold::new(self.rng.gen());
+                let b = FGold::new(self.rng.gen());
+                let sa = self.dealer_share(a);
+                let sb = self.dealer_share(b);
+                let sc = self.dealer_share(a * b);
+                (sa, sb, sc, a, b)
+            })
+            .collect();
+        self.net.consume_triples(k as u64);
+        // d = x - a, e = y - b, opened in one batch.
+        let ds: Vec<Shared> = pairs
+            .iter()
+            .zip(&triples)
+            .map(|((x, _), (sa, _, _, _, _))| self.sub(x, sa))
+            .collect();
+        let es: Vec<Shared> = pairs
+            .iter()
+            .zip(&triples)
+            .map(|((_, y), (_, sb, _, _, _))| self.sub(y, sb))
+            .collect();
+        let mut to_open: Vec<&Shared> = Vec::with_capacity(2 * k);
+        to_open.extend(ds.iter());
+        to_open.extend(es.iter());
+        let opened = self.open_batch(&to_open)?;
+        let (dvals, evals) = opened.split_at(k);
+        // z = c + d·[b] + e·[a] + d·e.
+        self.net.compute((self.m * 2 * k) as u64);
+        Ok((0..k)
+            .map(|i| {
+                let (_, _, ref sc, _, _) = triples[i];
+                let (ref sa, ref sb, _, _, _) = triples[i];
+                let d = dvals[i];
+                let e = evals[i];
+                let term1 = self.mul_const(sb, d);
+                let term2 = self.mul_const(sa, e);
+                let mut z = self.add(sc, &term1);
+                z = self.add(&z, &term2);
+                self.add_const(&z, d * e)
+            })
+            .collect())
+    }
+
+    /// Multiplies two shared values.
+    pub fn mul(&mut self, a: &Shared, b: &Shared) -> Result<Shared, MpcError> {
+        Ok(self.mul_batch(&[(a, b)])?.remove(0))
+    }
+
+    /// Jointly samples a uniformly random shared field element.
+    ///
+    /// Modeled as each party contributing a random sharing that is summed;
+    /// metered as one all-to-all round.
+    pub fn random(&mut self) -> Shared {
+        self.net
+            .send_all((self.m as u64 - 1) * FIELD_BYTES as u64 * self.byte_factor());
+        self.net.round();
+        let v = FGold::new(self.rng.gen());
+        self.dealer_share(v)
+    }
+
+    /// Dealer-supplied shared random bits (preprocessing material for
+    /// comparisons and truncation). Returns the shares and, simulation-
+    /// side, the clear bits.
+    pub fn random_bits(&mut self, k: usize) -> (Vec<Shared>, Vec<u64>) {
+        let bits: Vec<u64> = (0..k).map(|_| self.rng.gen_range(0..2u64)).collect();
+        let shares = bits
+            .iter()
+            .map(|&b| self.dealer_share(FGold::new(b)))
+            .collect();
+        // Preprocessing cost shows up as triples in the meter (each random
+        // bit costs about one triple to generate in DN07-style protocols).
+        self.net.consume_triples(k as u64);
+        (shares, bits)
+    }
+
+    /// Oblivious selection: `if bit { a } else { b }` (bit must be 0/1).
+    pub fn select(&mut self, bit: &Shared, a: &Shared, b: &Shared) -> Result<Shared, MpcError> {
+        let diff = self.sub(a, b);
+        let prod = self.mul(bit, &diff)?;
+        Ok(self.add(&prod, b))
+    }
+
+    /// XOR of two shared bits: `a + b - 2ab`.
+    pub fn xor(&mut self, a: &Shared, b: &Shared) -> Result<Shared, MpcError> {
+        let prod = self.mul(a, b)?;
+        let two = self.mul_const(&prod, FGold::new(2));
+        let sum = self.add(a, b);
+        Ok(self.sub(&sum, &two))
+    }
+
+    /// Access to the simulation RNG (for dealer-style functionality).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> MpcEngine {
+        MpcEngine::new(7, 3, false, 99)
+    }
+
+    #[test]
+    fn input_open_roundtrip() {
+        let mut e = engine();
+        let x = e.input(0, FGold::new(1234));
+        assert_eq!(e.open(&x).unwrap(), FGold::new(1234));
+    }
+
+    #[test]
+    fn linear_ops_are_exact() {
+        let mut e = engine();
+        let a = e.input(0, FGold::new(100));
+        let b = e.input(1, FGold::new(42));
+        let sum = e.add(&a, &b);
+        let diff = e.sub(&a, &b);
+        let scaled = e.mul_const(&a, FGold::new(3));
+        let shifted = e.add_const(&a, FGold::new(5));
+        assert_eq!(e.open(&sum).unwrap(), FGold::new(142));
+        assert_eq!(e.open(&diff).unwrap(), FGold::new(58));
+        assert_eq!(e.open(&scaled).unwrap(), FGold::new(300));
+        assert_eq!(e.open(&shifted).unwrap(), FGold::new(105));
+    }
+
+    #[test]
+    fn beaver_multiplication() {
+        let mut e = engine();
+        let a = e.input(0, FGold::new(6));
+        let b = e.input(1, FGold::new(7));
+        let prod = e.mul(&a, &b).unwrap();
+        assert_eq!(e.open(&prod).unwrap(), FGold::new(42));
+        assert_eq!(e.net.metrics.triples, 1);
+    }
+
+    #[test]
+    fn batch_multiplication_single_round_trip() {
+        let mut e = engine();
+        let xs: Vec<Shared> = (0..10).map(|i| e.input(0, FGold::new(i + 1))).collect();
+        let ys: Vec<Shared> = (0..10).map(|i| e.input(0, FGold::new(2 * i + 1))).collect();
+        let rounds_before = e.net.metrics.rounds;
+        let pairs: Vec<(&Shared, &Shared)> = xs.iter().zip(ys.iter()).collect();
+        let prods = e.mul_batch(&pairs).unwrap();
+        let rounds_used = e.net.metrics.rounds - rounds_before;
+        assert_eq!(rounds_used, 2, "batched mul must use one open round-trip");
+        for (i, p) in prods.iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(e.open(p).unwrap(), FGold::new((i + 1) * (2 * i + 1)));
+        }
+    }
+
+    #[test]
+    fn select_behaves_as_mux() {
+        let mut e = engine();
+        let a = e.input(0, FGold::new(111));
+        let b = e.input(0, FGold::new(222));
+        let one = e.constant(FGold::ONE);
+        let zero = e.constant(FGold::ZERO);
+        let pick_a = e.select(&one, &a, &b).unwrap();
+        let pick_b = e.select(&zero, &a, &b).unwrap();
+        assert_eq!(e.open(&pick_a).unwrap(), FGold::new(111));
+        assert_eq!(e.open(&pick_b).unwrap(), FGold::new(222));
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let mut e = engine();
+        for (a, b, want) in [(0u64, 0u64, 0u64), (0, 1, 1), (1, 0, 1), (1, 1, 0)] {
+            let sa = e.input(0, FGold::new(a));
+            let sb = e.input(0, FGold::new(b));
+            let x = e.xor(&sa, &sb).unwrap();
+            assert_eq!(e.open(&x).unwrap(), FGold::new(want), "{a} xor {b}");
+        }
+    }
+
+    #[test]
+    fn malicious_mode_costs_more_bytes() {
+        let mut honest = MpcEngine::new(5, 2, false, 1);
+        let mut malicious = MpcEngine::new(5, 2, true, 1);
+        for e in [&mut honest, &mut malicious] {
+            let a = e.input(0, FGold::new(3));
+            let b = e.input(1, FGold::new(4));
+            let p = e.mul(&a, &b).unwrap();
+            assert_eq!(e.open(&p).unwrap(), FGold::new(12));
+        }
+        assert!(
+            malicious.net.metrics.bytes_sent_total > honest.net.metrics.bytes_sent_total,
+            "malicious security must meter more traffic"
+        );
+    }
+
+    #[test]
+    fn random_bits_are_binary_and_match_clear() {
+        let mut e = engine();
+        let (shares, bits) = e.random_bits(32);
+        for (s, &b) in shares.iter().zip(&bits) {
+            assert!(b < 2);
+            assert_eq!(e.open(s).unwrap(), FGold::new(b));
+        }
+    }
+
+    #[test]
+    fn honest_majority_enforced() {
+        let r = std::panic::catch_unwind(|| MpcEngine::new(4, 2, false, 0));
+        assert!(r.is_err(), "2t < m must be enforced");
+    }
+}

@@ -1,0 +1,240 @@
+//! Encryption-type inference and confidentiality validation (§4.5).
+//!
+//! The paper's rule: every value derived from `db` that has not passed
+//! through `declassify` must be protected wherever it is handled by the
+//! aggregator or by individual participants — AHE if it is only added,
+//! FHE if it is multiplied or compared; committee vignettes protect data
+//! as secret shares. A key-generation vignette must precede the first use
+//! of any cryptosystem.
+//!
+//! [`validate`] checks these invariants over a vignette sequence; the
+//! search calls it on every full candidate, so no plan the planner emits
+//! can expose confidential data in the clear.
+
+use crate::plan::{Location, PhysOp, Scheme, Vignette};
+
+/// A confidentiality violation in a candidate plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncryptionError {
+    /// A vignette handles confidential data in the clear outside an MPC.
+    ClearConfidentialData {
+        /// Index of the offending vignette.
+        index: usize,
+    },
+    /// A vignette needs multiplications/comparisons but is only
+    /// AHE-protected.
+    AheWhereFheNeeded {
+        /// Index of the offending vignette.
+        index: usize,
+    },
+    /// A committee vignette is not share-protected.
+    CommitteeWithoutShares {
+        /// Index of the offending vignette.
+        index: usize,
+    },
+    /// Encrypted data is used before any key-generation vignette.
+    MissingKeyGen,
+}
+
+impl std::fmt::Display for EncryptionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ClearConfidentialData { index } => {
+                write!(f, "vignette {index} handles confidential data in the clear")
+            }
+            Self::AheWhereFheNeeded { index } => {
+                write!(f, "vignette {index} needs FHE but carries only AHE")
+            }
+            Self::CommitteeWithoutShares { index } => {
+                write!(f, "committee vignette {index} is not share-protected")
+            }
+            Self::MissingKeyGen => write!(f, "encrypted data used before key generation"),
+        }
+    }
+}
+
+impl std::error::Error for EncryptionError {}
+
+/// Whether an operation touches data still derived from `db` (before any
+/// mechanism releases it).
+fn handles_confidential(op: &PhysOp) -> bool {
+    matches!(
+        op,
+        PhysOp::EncryptInputs
+            | PhysOp::AggregatorSum
+            | PhysOp::SumTree { .. }
+            | PhysOp::ScorePrepFhe { .. }
+            | PhysOp::ScorePrepMpc { .. }
+            | PhysOp::DecryptShares { .. }
+            | PhysOp::NoiseGen { .. }
+            | PhysOp::ArgMaxTree { .. }
+            | PhysOp::ExpSample
+    )
+}
+
+/// Whether an operation requires more than additive homomorphism when it
+/// runs outside an MPC.
+fn needs_multiplicative(op: &PhysOp) -> bool {
+    matches!(op, PhysOp::ScorePrepFhe { .. } | PhysOp::ExpSample)
+}
+
+/// Validates the §4.5 confidentiality invariants over a plan's vignettes.
+///
+/// # Errors
+///
+/// Returns the first [`EncryptionError`] found.
+pub fn validate(vignettes: &[Vignette]) -> Result<(), EncryptionError> {
+    let mut keygen_seen = false;
+    for (index, v) in vignettes.iter().enumerate() {
+        if matches!(v.op, PhysOp::KeyGen) {
+            keygen_seen = true;
+            continue;
+        }
+        let confidential = handles_confidential(&v.op);
+        match v.location {
+            Location::Committees(_) => {
+                // Committees execute under MPC: shares protect the data.
+                if confidential && v.scheme != Scheme::Shares {
+                    return Err(EncryptionError::CommitteeWithoutShares { index });
+                }
+            }
+            Location::Aggregator | Location::Participants(_) => {
+                if confidential {
+                    match v.scheme {
+                        Scheme::Clear => {
+                            return Err(EncryptionError::ClearConfidentialData { index })
+                        }
+                        Scheme::Ahe if needs_multiplicative(&v.op) => {
+                            return Err(EncryptionError::AheWhereFheNeeded { index })
+                        }
+                        _ => {}
+                    }
+                    if !keygen_seen {
+                        return Err(EncryptionError::MissingKeyGen);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::vignette;
+
+    fn keygen() -> Vignette {
+        vignette(PhysOp::KeyGen, Location::Committees(1), Scheme::Shares)
+    }
+
+    #[test]
+    fn valid_pipeline_passes() {
+        let vs = vec![
+            keygen(),
+            vignette(
+                PhysOp::EncryptInputs,
+                Location::Participants(100),
+                Scheme::Ahe,
+            ),
+            vignette(PhysOp::AggregatorSum, Location::Aggregator, Scheme::Ahe),
+            vignette(
+                PhysOp::DecryptShares { batch: 100 },
+                Location::Committees(1),
+                Scheme::Shares,
+            ),
+            vignette(
+                PhysOp::NoiseGen {
+                    gumbel: true,
+                    batch: 1,
+                },
+                Location::Committees(4),
+                Scheme::Shares,
+            ),
+            vignette(
+                PhysOp::PostProcess { ops: 5 },
+                Location::Aggregator,
+                Scheme::Clear,
+            ),
+        ];
+        assert!(validate(&vs).is_ok());
+    }
+
+    #[test]
+    fn clear_aggregation_rejected() {
+        let vs = vec![
+            keygen(),
+            vignette(PhysOp::AggregatorSum, Location::Aggregator, Scheme::Clear),
+        ];
+        assert_eq!(
+            validate(&vs).unwrap_err(),
+            EncryptionError::ClearConfidentialData { index: 1 }
+        );
+    }
+
+    #[test]
+    fn ahe_cannot_carry_fhe_work() {
+        let vs = vec![
+            keygen(),
+            vignette(
+                PhysOp::ScorePrepFhe {
+                    ops_per_category: 1,
+                    cmps_per_category: 1,
+                },
+                Location::Aggregator,
+                Scheme::Ahe,
+            ),
+        ];
+        assert_eq!(
+            validate(&vs).unwrap_err(),
+            EncryptionError::AheWhereFheNeeded { index: 1 }
+        );
+    }
+
+    #[test]
+    fn committee_must_use_shares() {
+        let vs = vec![
+            keygen(),
+            vignette(
+                PhysOp::NoiseGen {
+                    gumbel: false,
+                    batch: 1,
+                },
+                Location::Committees(2),
+                Scheme::Clear,
+            ),
+        ];
+        assert_eq!(
+            validate(&vs).unwrap_err(),
+            EncryptionError::CommitteeWithoutShares { index: 1 }
+        );
+    }
+
+    #[test]
+    fn keygen_must_come_first() {
+        let vs = vec![vignette(
+            PhysOp::AggregatorSum,
+            Location::Aggregator,
+            Scheme::Ahe,
+        )];
+        assert_eq!(validate(&vs).unwrap_err(), EncryptionError::MissingKeyGen);
+    }
+
+    #[test]
+    fn postprocessing_of_released_data_may_be_clear() {
+        let vs = vec![
+            keygen(),
+            vignette(
+                PhysOp::PostProcess { ops: 100 },
+                Location::Aggregator,
+                Scheme::Clear,
+            ),
+            vignette(
+                PhysOp::OutputRelease,
+                Location::Committees(1),
+                Scheme::Shares,
+            ),
+        ];
+        assert!(validate(&vs).is_ok());
+    }
+}

@@ -1,0 +1,583 @@
+//! Plan enumeration with branch-and-bound (§4.4, §4.6).
+//!
+//! For each logical operator the planner generates every physical
+//! instantiation × placement alternative (sum as aggregator loop or
+//! participant sum trees of many fanouts; `em` as Gumbel-noise argmax
+//! with many batch/fanout choices or exponentiate-and-sample; decryption
+//! in many batch sizes; score prep in FHE or MPC), then walks the
+//! cartesian product depth-first. Partial candidates are scored as they
+//! grow and discarded as soon as they exceed an analyst limit or the
+//! best known full candidate (the branch-and-bound heuristics of §4.4,
+//! which §7.3 shows are the difference between milliseconds and
+//! out-of-memory).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use arboretum_sortition::size::{min_committee_size, SortitionParams};
+
+use crate::cost::{CostModel, Goal, Limits, Metrics};
+use crate::logical::{LogicalOp, LogicalPlan, MechanismKind};
+use crate::plan::{assemble, vignette, Location, PhysOp, Plan, Scheme, Vignette};
+
+/// Planner configuration.
+#[derive(Clone, Debug)]
+pub struct PlannerConfig {
+    /// Population size `N`.
+    pub n: u64,
+    /// Optimization goal.
+    pub goal: Goal,
+    /// Analyst limits.
+    pub limits: Limits,
+    /// Sortition failure model (determines committee sizes).
+    pub sortition: SortitionParams,
+    /// The calibrated cost model.
+    pub cost_model: CostModel,
+    /// Branch-and-bound pruning (disable to reproduce the §7.3 ablation).
+    pub use_heuristics: bool,
+}
+
+impl PlannerConfig {
+    /// The paper's evaluation setting: `N = 10^9`, default limits, and
+    /// minimize expected participant computation.
+    pub fn paper_defaults(n: u64) -> Self {
+        Self {
+            n,
+            goal: Goal::ParticipantExpectedSecs,
+            limits: Limits::paper_defaults(),
+            sortition: SortitionParams::default(),
+            cost_model: CostModel::default(),
+            use_heuristics: true,
+        }
+    }
+}
+
+/// Search statistics (Figure 9 / §7.3 reporting).
+#[derive(Clone, Debug, Default)]
+pub struct PlanStats {
+    /// Plan prefixes examined.
+    pub prefixes_considered: u64,
+    /// Complete candidates scored.
+    pub full_candidates: u64,
+    /// Prefixes pruned by bound or limit.
+    pub pruned: u64,
+    /// Wall-clock planning time.
+    pub elapsed: Duration,
+}
+
+/// Planning errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// No candidate satisfies the analyst's limits.
+    Infeasible,
+    /// The logical plan is empty.
+    EmptyPlan,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Infeasible => write!(f, "no plan satisfies the given limits"),
+            Self::EmptyPlan => write!(f, "logical plan is empty"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The alternatives for one logical operator.
+fn alternatives(op: &LogicalOp, lp: &LogicalPlan) -> Vec<Vec<Vignette>> {
+    let c = lp.max_categories().max(1);
+    match op {
+        LogicalOp::Sample { .. } => {
+            // Bin selection rides along with input encryption: no extra
+            // vignette variants.
+            vec![vec![]]
+        }
+        LogicalOp::Aggregate { .. } => {
+            let mut alts = vec![vec![vignette(
+                PhysOp::AggregatorSum,
+                Location::Aggregator,
+                Scheme::Ahe,
+            )]];
+            for fanout in [4u64, 16, 64, 256, 1024] {
+                alts.push(vec![vignette(
+                    PhysOp::SumTree { fanout },
+                    Location::Participants(lp.schema.participants / fanout.max(1)),
+                    Scheme::Ahe,
+                )]);
+            }
+            alts
+        }
+        LogicalOp::ScorePrep {
+            ops_per_category,
+            needs_comparisons,
+        } => {
+            let mut alts = vec![vec![vignette(
+                PhysOp::ScorePrepFhe {
+                    ops_per_category: *ops_per_category,
+                    cmps_per_category: u64::from(*needs_comparisons),
+                },
+                Location::Aggregator,
+                Scheme::Fhe,
+            )]];
+            for chunk in [16u64, 64, 256, 1024] {
+                let op = PhysOp::ScorePrepMpc {
+                    ops_per_category: *ops_per_category,
+                    chunk,
+                };
+                let count = op.committees(c);
+                alts.push(vec![vignette(
+                    op,
+                    Location::Committees(count),
+                    Scheme::Shares,
+                )]);
+            }
+            alts
+        }
+        LogicalOp::Mechanism {
+            kind,
+            categories,
+            k,
+        } => mechanism_alternatives(*kind, (*categories).max(1), *k),
+        LogicalOp::PostProcess { ops } => vec![vec![vignette(
+            PhysOp::PostProcess { ops: *ops },
+            Location::Aggregator,
+            Scheme::Clear,
+        )]],
+        LogicalOp::Output => vec![vec![vignette(
+            PhysOp::OutputRelease,
+            Location::Committees(1),
+            Scheme::Shares,
+        )]],
+    }
+}
+
+fn mechanism_alternatives(kind: MechanismKind, c: u64, k: u64) -> Vec<Vec<Vignette>> {
+    let mut alts = Vec::new();
+    let dec_batches = [32u64, 100, 512];
+    match kind {
+        MechanismKind::Laplace => {
+            for &db in &dec_batches {
+                for nb in [1u64, 4, 16, 64] {
+                    let dec = PhysOp::DecryptShares { batch: db };
+                    let noise = PhysOp::NoiseGen {
+                        gumbel: false,
+                        batch: nb,
+                    };
+                    let (dc, nc) = (dec.committees(c), noise.committees(c));
+                    alts.push(vec![
+                        vignette(dec, Location::Committees(dc), Scheme::Shares),
+                        vignette(noise, Location::Committees(nc), Scheme::Shares),
+                    ]);
+                }
+            }
+        }
+        MechanismKind::EmSelect | MechanismKind::EmTopK | MechanismKind::EmGap => {
+            let passes = match kind {
+                MechanismKind::EmTopK => k.max(1),
+                MechanismKind::EmGap => 2,
+                _ => 1,
+            };
+            // Gumbel-noise instantiation (Figure 4 right / Figure 5).
+            for &db in &dec_batches {
+                for nb in [1u64, 4, 16, 64] {
+                    for fanout in [2u64, 3, 5, 9, 17, 33] {
+                        let dec = PhysOp::DecryptShares { batch: db };
+                        let noise = PhysOp::NoiseGen {
+                            gumbel: true,
+                            batch: nb,
+                        };
+                        let amax = PhysOp::ArgMaxTree { fanout, passes };
+                        let (dc, nc, ac) =
+                            (dec.committees(c), noise.committees(c), amax.committees(c));
+                        alts.push(vec![
+                            vignette(dec, Location::Committees(dc), Scheme::Shares),
+                            vignette(noise, Location::Committees(nc), Scheme::Shares),
+                            vignette(amax, Location::Committees(ac), Scheme::Shares),
+                        ]);
+                    }
+                }
+            }
+            // Exponentiate-and-sample instantiation (Figure 4 left); a
+            // top-k release repeats the scan per winner.
+            for _ in 0..1 {
+                let mut vs = Vec::new();
+                for _ in 0..passes {
+                    vs.push(vignette(
+                        PhysOp::ExpSample,
+                        Location::Aggregator,
+                        Scheme::Fhe,
+                    ));
+                }
+                alts.push(vs);
+            }
+        }
+    }
+    alts
+}
+
+/// Runs the planner on a logical plan.
+///
+/// # Errors
+///
+/// Returns [`PlanError::Infeasible`] when no candidate fits the limits.
+///
+/// # Examples
+///
+/// ```
+/// use arboretum_lang::ast::DbSchema;
+/// use arboretum_lang::parser::parse;
+/// use arboretum_planner::logical::extract;
+/// use arboretum_planner::search::{plan, PlannerConfig};
+///
+/// let schema = DbSchema::one_hot(1 << 20, 16);
+/// let program = parse("aggr = sum(db); r = em(aggr, 0.5); output(r);").unwrap();
+/// let logical = extract(&program, &schema, Default::default()).unwrap();
+/// let (best, stats) = plan(&logical, &PlannerConfig::paper_defaults(1 << 20)).unwrap();
+/// assert!(best.total_committees >= 1);
+/// assert!(stats.full_candidates >= 1);
+/// ```
+pub fn plan(lp: &LogicalPlan, cfg: &PlannerConfig) -> Result<(Plan, PlanStats), PlanError> {
+    let start = Instant::now();
+    if lp.ops.is_empty() {
+        return Err(PlanError::EmptyPlan);
+    }
+    let categories = lp.max_categories().max(1);
+    // Fixed prologue: key generation, input encryption, verification.
+    let prologue = vec![
+        vignette(PhysOp::KeyGen, Location::Committees(1), Scheme::Shares),
+        vignette(
+            PhysOp::EncryptInputs,
+            Location::Participants(cfg.n),
+            if lp.needs_comparisons() {
+                Scheme::Fhe
+            } else {
+                Scheme::Ahe
+            },
+        ),
+        vignette(PhysOp::VerifyInputs, Location::Aggregator, Scheme::Ahe),
+    ];
+    let choices: Vec<Vec<Vec<Vignette>>> = lp.ops.iter().map(|op| alternatives(op, lp)).collect();
+
+    let mut stats = PlanStats::default();
+    let mut best: Option<Plan> = None;
+    // Lower-bound committee size used for optimistic partial scoring.
+    let m_lb = min_committee_size(1, &cfg.sortition);
+    let mut m_cache: HashMap<u64, u64> = HashMap::new();
+
+    struct Ctx<'a> {
+        cfg: &'a PlannerConfig,
+        categories: u64,
+        choices: &'a [Vec<Vec<Vignette>>],
+        stats: &'a mut PlanStats,
+        best: &'a mut Option<Plan>,
+        m_lb: u64,
+        m_cache: &'a mut HashMap<u64, u64>,
+    }
+
+    fn dfs(ctx: &mut Ctx<'_>, depth: usize, acc: &mut Vec<Vignette>, partial: Metrics) {
+        ctx.stats.prefixes_considered += 1;
+        if ctx.cfg.use_heuristics {
+            if ctx.cfg.limits.violated_by(&partial) {
+                ctx.stats.pruned += 1;
+                return;
+            }
+            if let Some(b) = ctx.best.as_ref() {
+                if partial.get(ctx.cfg.goal) >= b.metrics.get(ctx.cfg.goal) {
+                    ctx.stats.pruned += 1;
+                    return;
+                }
+            }
+        }
+        if depth == ctx.choices.len() {
+            // Full candidate: exact scoring with the true committee size.
+            ctx.stats.full_candidates += 1;
+            let total_committees: u64 = acc
+                .iter()
+                .map(|v| v.op.committees(ctx.categories))
+                .sum::<u64>()
+                .max(1);
+            let sortition = ctx.cfg.sortition;
+            let m = *ctx
+                .m_cache
+                .entry(total_committees)
+                .or_insert_with(|| min_committee_size(total_committees, &sortition));
+            let _ = m;
+            // Every emitted candidate must satisfy the §4.5
+            // confidentiality invariants.
+            debug_assert!(
+                crate::encryption::validate(acc).is_ok(),
+                "candidate violates encryption inference: {:?}",
+                crate::encryption::validate(acc)
+            );
+            let plan = assemble(
+                acc.clone(),
+                &ctx.cfg.cost_model,
+                ctx.cfg.n,
+                ctx.categories,
+                &ctx.cfg.sortition,
+            );
+            if ctx.cfg.limits.violated_by(&plan.metrics) {
+                return;
+            }
+            let better = match ctx.best.as_ref() {
+                None => true,
+                Some(b) => plan.metrics.get(ctx.cfg.goal) < b.metrics.get(ctx.cfg.goal),
+            };
+            if better {
+                *ctx.best = Some(plan);
+            }
+            return;
+        }
+        // Clone the alternatives for this depth to release the borrow.
+        let alts = ctx.choices[depth].clone();
+        for alt in alts {
+            let mut next = partial;
+            for v in &alt {
+                next = next.combine(crate::plan::vignette_metrics(
+                    v,
+                    &ctx.cfg.cost_model,
+                    ctx.cfg.n,
+                    ctx.categories,
+                    ctx.m_lb,
+                ));
+            }
+            let len_before = acc.len();
+            acc.extend(alt);
+            dfs(ctx, depth + 1, acc, next);
+            acc.truncate(len_before);
+        }
+    }
+
+    // Score the prologue once (shared by all candidates).
+    let mut base = Metrics::default();
+    for v in &prologue {
+        base = base.combine(crate::plan::vignette_metrics(
+            v,
+            &cfg.cost_model,
+            cfg.n,
+            categories,
+            m_lb,
+        ));
+    }
+
+    let mut acc = prologue;
+    {
+        let mut ctx = Ctx {
+            cfg,
+            categories,
+            choices: &choices,
+            stats: &mut stats,
+            best: &mut best,
+            m_lb,
+            m_cache: &mut m_cache,
+        };
+        dfs(&mut ctx, 0, &mut acc, base);
+    }
+    stats.elapsed = start.elapsed();
+    best.ok_or(PlanError::Infeasible).map(|p| (p, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::extract;
+    use arboretum_lang::ast::DbSchema;
+    use arboretum_lang::parser::parse;
+    use arboretum_lang::privacy::CertifyConfig;
+
+    fn logical(src: &str, categories: usize) -> LogicalPlan {
+        let schema = DbSchema::one_hot(1 << 30, categories);
+        extract(&parse(src).unwrap(), &schema, CertifyConfig::default()).unwrap()
+    }
+
+    fn top1(categories: usize) -> LogicalPlan {
+        logical("aggr = sum(db); r = em(aggr, 0.1); output(r);", categories)
+    }
+
+    #[test]
+    fn plans_top1_within_paper_limits() {
+        let lp = top1(1 << 15);
+        let cfg = PlannerConfig::paper_defaults(1 << 30);
+        let (plan, stats) = plan(&lp, &cfg).unwrap();
+        assert!(stats.full_candidates >= 1);
+        assert!(stats.prefixes_considered > stats.full_candidates);
+        // Shape checks against §7.2: expected participant cost is low in
+        // absolute terms (under ~2 minutes of compute, a few MB sent).
+        let m = &plan.metrics;
+        assert!(m.part_exp_secs < 120.0, "expected secs {}", m.part_exp_secs);
+        assert!(
+            m.part_exp_bytes < 10.0e6,
+            "expected bytes {}",
+            m.part_exp_bytes
+        );
+        assert!(m.part_max_secs < 20.0 * 60.0);
+        assert!(m.agg_secs < 20_000.0 * 3600.0);
+        // The committee fraction should be well under 1%.
+        assert!(plan.committee_fraction() < 0.01);
+    }
+
+    #[test]
+    fn big_em_prefers_gumbel_over_exponentiate() {
+        // At 2^15 categories, ExpSample's sequential committee scan and
+        // the aggregator-side FHE exponentiations are both far over
+        // budget; the Gumbel instantiation must win.
+        let lp = top1(1 << 15);
+        let cfg = PlannerConfig::paper_defaults(1 << 30);
+        let (plan, _) = plan(&lp, &cfg).unwrap();
+        assert!(
+            plan.vignettes
+                .iter()
+                .any(|v| matches!(v.op, PhysOp::ArgMaxTree { .. })),
+            "expected a Gumbel argmax plan, got {:?}",
+            plan.vignettes
+        );
+    }
+
+    #[test]
+    fn laplace_query_needs_no_argmax_committees() {
+        let lp = logical("aggr = sum(db); r = laplace(aggr, 1, 0.1); output(r);", 1);
+        let cfg = PlannerConfig::paper_defaults(1 << 30);
+        let (plan, _) = plan(&lp, &cfg).unwrap();
+        assert!(plan
+            .vignettes
+            .iter()
+            .all(|v| !matches!(v.op, PhysOp::ArgMaxTree { .. })));
+        // A single-category Laplace query is Honeycrisp-shaped: very few
+        // committees.
+        assert!(plan.total_committees <= 4, "{}", plan.total_committees);
+    }
+
+    #[test]
+    fn laplace_is_cheaper_than_em() {
+        let cfg = PlannerConfig::paper_defaults(1 << 30);
+        let em = plan(&top1(1 << 15), &cfg).unwrap().0;
+        let lap = plan(
+            &logical(
+                "aggr = sum(db); r = laplace(aggr, 1, 0.1); output(r);",
+                1 << 15,
+            ),
+            &cfg,
+        )
+        .unwrap()
+        .0;
+        assert!(
+            lap.metrics.part_exp_secs < em.metrics.part_exp_secs,
+            "laplace {} vs em {}",
+            lap.metrics.part_exp_secs,
+            em.metrics.part_exp_secs
+        );
+    }
+
+    #[test]
+    fn aggregator_limit_forces_outsourcing() {
+        // Figure 10: once the aggregator's compute limit binds, the sum
+        // moves to participant sum trees and participant cost rises.
+        let lp = top1(1 << 15);
+        let n = 1u64 << 30;
+        let mut free = PlannerConfig::paper_defaults(n);
+        free.limits.agg_secs = None;
+        let (p_free, _) = plan(&lp, &free).unwrap();
+
+        let mut tight = PlannerConfig::paper_defaults(n);
+        // Leave room for the mandatory ZKP verification but not for the
+        // aggregator-side summation, so the planner must outsource it.
+        let verify_secs = n as f64 * tight.cost_model.zkp_verify_secs;
+        let sum_secs =
+            n as f64 * (tight.cost_model.agg_ingest_secs + tight.cost_model.bgv_add_secs);
+        tight.limits.agg_secs = Some(verify_secs + 0.5 * sum_secs);
+        let (p_tight, _) = plan(&lp, &tight).unwrap();
+
+        let free_uses_agg_sum = p_free
+            .vignettes
+            .iter()
+            .any(|v| matches!(v.op, PhysOp::AggregatorSum));
+        let tight_uses_tree = p_tight
+            .vignettes
+            .iter()
+            .any(|v| matches!(v.op, PhysOp::SumTree { .. }));
+        assert!(
+            free_uses_agg_sum,
+            "unlimited plan should sum on the aggregator"
+        );
+        assert!(tight_uses_tree, "limited plan must outsource the sum");
+        assert!(
+            p_tight.metrics.part_exp_secs >= p_free.metrics.part_exp_secs,
+            "outsourcing shifts cost to participants"
+        );
+    }
+
+    #[test]
+    fn infeasible_limits_detected() {
+        let lp = top1(1 << 15);
+        let mut cfg = PlannerConfig::paper_defaults(1 << 30);
+        cfg.limits.part_max_secs = Some(0.001);
+        assert_eq!(plan(&lp, &cfg).unwrap_err(), PlanError::Infeasible);
+    }
+
+    #[test]
+    fn heuristics_reduce_explored_prefixes() {
+        let lp = top1(1 << 12);
+        let mut with = PlannerConfig::paper_defaults(1 << 30);
+        with.use_heuristics = true;
+        let mut without = with.clone();
+        without.use_heuristics = false;
+        let (_, s_with) = plan(&lp, &with).unwrap();
+        let (p_without, s_without) = plan(&lp, &without).unwrap();
+        let (p_with, _) = plan(&lp, &with).unwrap();
+        assert!(
+            s_without.full_candidates > s_with.full_candidates,
+            "pruning must cut candidates: {} vs {}",
+            s_without.full_candidates,
+            s_with.full_candidates
+        );
+        // Both find plans of equal quality (pruning is exact).
+        let a = p_with.metrics.get(with.goal);
+        let b = p_without.metrics.get(with.goal);
+        assert!((a - b).abs() < 1e-9 * a.max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn all_emitted_plans_validate_encryption() {
+        let cfg = PlannerConfig::paper_defaults(1 << 30);
+        let (p, _) = plan(&top1(1 << 12), &cfg).unwrap();
+        assert!(crate::encryption::validate(&p.vignettes).is_ok());
+    }
+
+    #[test]
+    fn goal_changes_chosen_plan() {
+        let lp = top1(1 << 15);
+        let n = 1u64 << 26;
+        let mut cfg_a = PlannerConfig::paper_defaults(n);
+        cfg_a.goal = Goal::AggSecs;
+        cfg_a.limits = Limits::default();
+        let mut cfg_b = cfg_a.clone();
+        cfg_b.goal = Goal::AggBytes;
+        let (pa, _) = plan(&lp, &cfg_a).unwrap();
+        let (pb, _) = plan(&lp, &cfg_b).unwrap();
+        assert!(pa.metrics.agg_secs <= pb.metrics.agg_secs);
+        assert!(pb.metrics.agg_bytes <= pa.metrics.agg_bytes);
+    }
+
+    #[test]
+    fn topk_seats_more_committees_than_top1() {
+        let cfg = PlannerConfig::paper_defaults(1 << 30);
+        let p1 = plan(&top1(1 << 15), &cfg).unwrap().0;
+        let pk = plan(
+            &logical(
+                "aggr = sum(db); t = emTopK(aggr, 5, 0.1); output(t);",
+                1 << 15,
+            ),
+            &cfg,
+        )
+        .unwrap()
+        .0;
+        assert!(
+            pk.total_committees > p1.total_committees,
+            "topK {} vs top1 {}",
+            pk.total_committees,
+            p1.total_committees
+        );
+    }
+}

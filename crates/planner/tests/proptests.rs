@@ -1,0 +1,119 @@
+//! Property-based tests for the planner: no panics, valid plans, and
+//! monotone structure across randomized configurations.
+
+use arboretum_lang::ast::DbSchema;
+use arboretum_lang::parser::parse;
+use arboretum_planner::cost::{Goal, Limits};
+use arboretum_planner::encryption::validate;
+use arboretum_planner::logical::extract;
+use arboretum_planner::search::{plan, PlannerConfig};
+use proptest::prelude::*;
+
+fn top1_logical(n: u64, categories: usize) -> arboretum_planner::logical::LogicalPlan {
+    let schema = DbSchema::one_hot(n, categories);
+    extract(
+        &parse("aggr = sum(db); r = em(aggr, 0.1); output(r);").unwrap(),
+        &schema,
+        Default::default(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn plans_are_always_valid(log_n in 17u32..30, log_c in 0u32..15) {
+        let n = 1u64 << log_n;
+        let c = 1usize << log_c;
+        let lp = top1_logical(n, c);
+        let cfg = PlannerConfig::paper_defaults(n);
+        let (p, stats) = plan(&lp, &cfg).unwrap();
+        prop_assert!(validate(&p.vignettes).is_ok());
+        prop_assert!(p.total_committees >= 1);
+        prop_assert!(p.committee_size >= 3);
+        prop_assert!(stats.full_candidates >= 1);
+        // Every metric is finite and non-negative.
+        let m = &p.metrics;
+        for v in [m.agg_secs, m.agg_bytes, m.part_exp_secs, m.part_max_secs, m.part_exp_bytes, m.part_max_bytes] {
+            prop_assert!(v.is_finite() && v >= 0.0, "{v}");
+        }
+        // Expected cost never exceeds max cost.
+        prop_assert!(m.part_exp_secs <= m.part_max_secs + 1e-9);
+        prop_assert!(m.part_exp_bytes <= m.part_max_bytes + 1e-9);
+    }
+
+    #[test]
+    fn chosen_goal_is_never_beaten_by_other_goals(seed_goal in 0usize..6) {
+        // Planning for goal G must yield a plan at least as good on G as
+        // planning for any other goal G'.
+        let goals = [
+            Goal::AggSecs,
+            Goal::AggBytes,
+            Goal::ParticipantExpectedSecs,
+            Goal::ParticipantMaxSecs,
+            Goal::ParticipantExpectedBytes,
+            Goal::ParticipantMaxBytes,
+        ];
+        let target = goals[seed_goal];
+        let lp = top1_logical(1 << 26, 1 << 10);
+        let mut cfg = PlannerConfig::paper_defaults(1 << 26);
+        cfg.limits = Limits::default();
+        cfg.goal = target;
+        let (best, _) = plan(&lp, &cfg).unwrap();
+        for other in goals {
+            let mut cfg2 = cfg.clone();
+            cfg2.goal = other;
+            let (p2, _) = plan(&lp, &cfg2).unwrap();
+            prop_assert!(
+                best.metrics.get(target) <= p2.metrics.get(target) + 1e-9,
+                "goal {target:?}: {} beaten by {:?}-optimal plan at {}",
+                best.metrics.get(target),
+                other,
+                p2.metrics.get(target)
+            );
+        }
+    }
+
+    #[test]
+    fn expected_participant_cost_monotone_in_n(log_n in 18u32..29) {
+        // Holding the query fixed, bigger deployments mean lower expected
+        // per-participant cost (the paper's organic-scaling claim).
+        let c = 1usize << 10;
+        let small = plan(
+            &top1_logical(1 << log_n, c),
+            &PlannerConfig::paper_defaults(1 << log_n),
+        )
+        .unwrap()
+        .0;
+        let big = plan(
+            &top1_logical(1 << (log_n + 1), c),
+            &PlannerConfig::paper_defaults(1 << (log_n + 1)),
+        )
+        .unwrap()
+        .0;
+        prop_assert!(
+            big.metrics.part_exp_secs <= small.metrics.part_exp_secs * 1.05,
+            "{} -> {}",
+            small.metrics.part_exp_secs,
+            big.metrics.part_exp_secs
+        );
+    }
+
+    #[test]
+    fn tighter_limits_never_improve_the_goal(divisor in 2.0f64..50.0) {
+        let lp = top1_logical(1 << 28, 1 << 12);
+        let mut free = PlannerConfig::paper_defaults(1 << 28);
+        free.limits = Limits::default();
+        let (p_free, _) = plan(&lp, &free).unwrap();
+        let mut tight = free.clone();
+        tight.limits.agg_secs = Some(p_free.metrics.agg_secs / divisor);
+        // Infeasible is acceptable under harsh limits; a found plan must
+        // not beat the unconstrained optimum.
+        if let Ok((p_tight, _)) = plan(&lp, &tight) {
+            prop_assert!(
+                p_tight.metrics.get(tight.goal) >= p_free.metrics.get(free.goal) - 1e-9
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Baseline systems for comparison (Table 1, Figures 6–8).
+//!
+//! Cost models of the four alternative approaches the paper compares
+//! against, built from the same primitive constants as Arboretum's cost
+//! model so the comparison is apples-to-apples:
+//!
+//! * **FHE-only** — every participant uploads FHE ciphertexts; the
+//!   aggregator evaluates the whole query homomorphically (years of
+//!   compute at scale).
+//! * **All-to-all MPC** — every participant is an MPC party; per-party
+//!   traffic scales linearly with `N` (petabytes).
+//! * **Böhler–Kerschbaum** — one committee runs the whole query,
+//!   *including input collection*: member traffic scales with `N`
+//!   (terabytes at `N ≥ 10^9`, beyond a typical device).
+//! * **Orchard / Honeycrisp** — aggregator sums under AHE; a *single*
+//!   committee does keygen, noising, and decryption. Efficient for
+//!   Laplace queries; the committee becomes the bottleneck when the
+//!   exponential mechanism has many categories.
+
+use arboretum_planner::cost::CostModel;
+
+/// Cost summary of a baseline on one query (paper-scale, modeled).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BaselineCost {
+    /// Aggregator computation, core-seconds.
+    pub agg_secs: f64,
+    /// Typical per-participant bytes sent.
+    pub participant_bytes_typical: f64,
+    /// Worst-case per-participant bytes sent.
+    pub participant_bytes_worst: f64,
+    /// Whether the approach can answer categorical queries at this scale
+    /// inside a 20-minute / 4 GB participant budget and ~10^7 aggregator
+    /// core-seconds.
+    pub feasible: bool,
+}
+
+/// Seconds in a year, for the "years of computation" comparisons.
+pub const YEAR_SECS: f64 = 365.25 * 24.0 * 3600.0;
+
+/// FHE-only strawman: the aggregator evaluates the exponential mechanism
+/// circuit over every participant's ciphertext.
+pub fn fhe_only(cm: &CostModel, n: u64, categories: u64) -> BaselineCost {
+    let ct = cm.ct_bytes(categories);
+    // Quality-score evaluation touches every (participant, category)
+    // pair under FHE: the paper estimates a 40-trillion-gate circuit for
+    // N = 10^8; per-gate cost folded into the gadget constant.
+    let agg_secs = n as f64 * categories as f64 * cm.fhe_gadget_secs * 1.0e-4;
+    BaselineCost {
+        agg_secs,
+        participant_bytes_typical: ct,
+        participant_bytes_worst: ct,
+        feasible: agg_secs < 1.0e7,
+    }
+}
+
+/// All-to-all MPC strawman: `N` parties, per-party traffic `Θ(N)`.
+pub fn all_to_all_mpc(_cm: &CostModel, n: u64, _categories: u64) -> BaselineCost {
+    let per_party = n as f64 * 64.0; // ≥ a few field elements per peer.
+    BaselineCost {
+        agg_secs: 0.0,
+        participant_bytes_typical: per_party,
+        participant_bytes_worst: per_party,
+        feasible: per_party < 4.0e9,
+    }
+}
+
+/// Böhler–Kerschbaum: one committee of `m` devices collects masked
+/// inputs from all `N` participants and evaluates the median/EM circuit.
+pub fn boehler(cm: &CostModel, n: u64, m: u64) -> BaselineCost {
+    // §7.1: m = 10 and N = 10^6 measured 1.41 GB per member; assume
+    // linear scaling in N and m.
+    let measured = 1.41e9;
+    let member_bytes = measured * (n as f64 / 1.0e6) * (m as f64 / 10.0);
+    BaselineCost {
+        agg_secs: n as f64 * 1.0e-5, // Forwarding only.
+        participant_bytes_typical: cm.ct_bytes(1),
+        participant_bytes_worst: member_bytes,
+        feasible: member_bytes < 4.0e9,
+    }
+}
+
+/// Orchard (and Honeycrisp for pure counts): AHE aggregation plus a
+/// single committee for keygen + noising + decryption.
+pub fn orchard(
+    cm: &CostModel,
+    n: u64,
+    categories: u64,
+    m: u64,
+    gumbel_samples: u64,
+) -> BaselineCost {
+    let ct = cm.ct_bytes(categories);
+    let ms = cm.m_scale(m);
+    let ds = cm.degree_scale(categories);
+    // The single committee does keygen, every noise sample, and every
+    // decryption itself.
+    let member_secs = cm.mpc_keygen_secs_42 * ms * ds
+        + gumbel_samples as f64 * cm.mpc_gumbel_secs_42 * ms
+        + cm.mpc_decrypt_secs * ms * ds * cm.ct_blocks(categories);
+    let member_bytes = cm.mpc_keygen_bytes_42 * ms * ds
+        + gumbel_samples as f64 * cm.mpc_gumbel_bytes * ms
+        + cm.mpc_decrypt_bytes * ms * ds;
+    let agg_secs = n as f64 * (cm.zkp_verify_secs + cm.bgv_add_secs * ds);
+    BaselineCost {
+        agg_secs,
+        participant_bytes_typical: ct + cm.zkp_bytes,
+        participant_bytes_worst: member_bytes,
+        // The committee member must stay within the participant budget.
+        feasible: member_bytes < 4.0e9 && member_secs < 20.0 * 60.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm() -> CostModel {
+        CostModel::default()
+    }
+
+    const N: u64 = 1 << 30;
+    const ZIPCODES: u64 = 41_683;
+
+    #[test]
+    fn table1_fhe_only_takes_years() {
+        let b = fhe_only(&cm(), 100_000_000, ZIPCODES);
+        assert!(b.agg_secs > YEAR_SECS, "{} secs", b.agg_secs);
+        assert!(!b.feasible);
+        // Participant bandwidth stays MBs.
+        assert!(b.participant_bytes_typical < 10.0e6);
+    }
+
+    #[test]
+    fn table1_all_to_all_needs_petabytes() {
+        let b = all_to_all_mpc(&cm(), N, ZIPCODES);
+        assert!(
+            b.participant_bytes_typical > 1.0e10,
+            "{}",
+            b.participant_bytes_typical
+        );
+        assert!(!b.feasible);
+    }
+
+    #[test]
+    fn table1_boehler_member_traffic_is_terabytes() {
+        // §7.1: m = 40, N = 1.3e9 extrapolates to > 7.3 TB.
+        let b = boehler(&cm(), 1_300_000_000, 40);
+        assert!(
+            b.participant_bytes_worst > 7.0e12,
+            "{}",
+            b.participant_bytes_worst
+        );
+        assert!(!b.feasible);
+        // But typical participants are cheap (kBs–MBs).
+        assert!(b.participant_bytes_typical < 1.0e6);
+    }
+
+    #[test]
+    fn table1_boehler_works_at_a_million() {
+        let b = boehler(&cm(), 1_000_000, 10);
+        assert!(b.feasible, "Böhler reaches ~10^6 participants");
+    }
+
+    #[test]
+    fn orchard_fine_for_laplace_breaks_for_big_em() {
+        // cms-style: one category, no Gumbel samples → feasible.
+        let lap = orchard(&cm(), N, 1, 40, 0);
+        assert!(lap.feasible);
+        // Zip-code EM: tens of thousands of Gumbel samples in ONE
+        // committee → infeasible (the single-committee bottleneck).
+        let em = orchard(&cm(), N, ZIPCODES, 40, ZIPCODES);
+        assert!(!em.feasible);
+        // Small EM (tens of categories) is what Orchard supports.
+        let small_em = orchard(&cm(), N, 10, 40, 10);
+        assert!(small_em.feasible);
+    }
+
+    #[test]
+    fn orchard_expected_cost_matches_arboretum_shape() {
+        // §7.2: "these costs are almost identical to Arboretum's in
+        // expectation" — typical participant bytes are one ciphertext.
+        let b = orchard(&cm(), N, 115, 40, 0);
+        let ct = cm().ct_bytes(115);
+        assert!((b.participant_bytes_typical - ct - 192.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Arboretum's evaluation query corpus and baselines (§7, Table 2).
+//!
+//! * [`corpus`] — the ten queries of Table 2, written in the query
+//!   language with the paper's §7.1 parameters (category counts,
+//!   epsilons, declared sensitivities).
+//! * [`baselines`] — cost models of the compared systems (FHE-only,
+//!   all-to-all MPC, Böhler–Kerschbaum, Orchard/Honeycrisp) built over
+//!   the same primitive constants as Arboretum's planner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod corpus;
+
+pub use baselines::{all_to_all_mpc, boehler, fhe_only, orchard, BaselineCost};
+pub use corpus::{all_queries, QuerySpec};

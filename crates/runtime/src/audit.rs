@@ -1,0 +1,172 @@
+//! Aggregator step audits (§5.3).
+//!
+//! The aggregator commits to the results of every execution step in a
+//! Merkle hash tree; each participant challenges a few random leaves and
+//! verifies the returned contents and inclusion proofs. A Byzantine
+//! aggregator that tampers with even one step is caught unless *every*
+//! auditor happens to miss it; the per-device challenge count is chosen
+//! so the overall miss probability stays below `p_max`.
+
+use arboretum_crypto::merkle::{MerkleProof, MerkleTree};
+use arboretum_crypto::sha256::Digest;
+use rand::Rng;
+
+/// The aggregator's side of the audit: the step log and its tree.
+#[derive(Clone, Debug)]
+pub struct StepLog {
+    steps: Vec<Vec<u8>>,
+    tree: MerkleTree,
+}
+
+impl StepLog {
+    /// Builds the log from the serialized results of each step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty.
+    pub fn new(steps: Vec<Vec<u8>>) -> Self {
+        let tree = MerkleTree::new(&steps);
+        Self { steps, tree }
+    }
+
+    /// The published root.
+    pub fn root(&self) -> Digest {
+        self.tree.root()
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the log is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Answers a challenge: the step contents and an inclusion proof.
+    pub fn respond(&self, index: usize) -> (Vec<u8>, MerkleProof) {
+        (self.steps[index].clone(), self.tree.prove(index))
+    }
+
+    /// Tampers with one step *after* publishing the root (test helper for
+    /// Byzantine behavior).
+    pub fn tamper(&mut self, index: usize, new_contents: Vec<u8>) {
+        self.steps[index] = new_contents;
+    }
+}
+
+/// Number of leaves each device must audit so that a single bad step
+/// among `steps` escapes all `n_devices` audits with probability at most
+/// `p_max`.
+pub fn challenges_per_device(steps: usize, n_devices: u64, p_max: f64) -> usize {
+    assert!(steps > 0 && n_devices > 0 && (0.0..1.0).contains(&p_max));
+    // One device auditing k of s steps misses a fixed bad step w.p.
+    // (1 - k/s); across n devices: (1 - k/s)^n <= p_max.
+    for k in 1..=steps {
+        let miss = (1.0 - k as f64 / steps as f64).powf(n_devices as f64);
+        if miss <= p_max {
+            return k;
+        }
+    }
+    steps
+}
+
+/// One device's audit: challenge `k` random leaves, verify contents
+/// against the recomputation oracle and proofs against the root.
+///
+/// `recompute` returns the expected contents of a step (in the real
+/// system the device recomputes or cross-checks the step; in tests it is
+/// the honest step list).
+pub fn audit<R: Rng + ?Sized>(
+    log: &StepLog,
+    root: &Digest,
+    k: usize,
+    recompute: impl Fn(usize) -> Vec<u8>,
+    rng: &mut R,
+) -> bool {
+    for _ in 0..k {
+        let idx = rng.gen_range(0..log.len());
+        let (contents, proof) = log.respond(idx);
+        if contents != recompute(idx) {
+            return false;
+        }
+        if !MerkleTree::verify(root, &contents, &proof) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn steps(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| format!("step-{i}-result").into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn honest_aggregator_passes_audits() {
+        let log = StepLog::new(steps(64));
+        let root = log.root();
+        let honest = steps(64);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert!(audit(&log, &root, 8, |i| honest[i].clone(), &mut rng));
+        }
+    }
+
+    #[test]
+    fn tampered_step_detected_with_high_probability() {
+        let mut log = StepLog::new(steps(64));
+        let root = log.root();
+        log.tamper(17, b"forged".to_vec());
+        let honest = steps(64);
+        let mut rng = StdRng::seed_from_u64(2);
+        // 200 devices auditing 8 leaves each: detection is essentially
+        // certain.
+        let mut caught = false;
+        for _ in 0..200 {
+            if !audit(&log, &root, 8, |i| honest[i].clone(), &mut rng) {
+                caught = true;
+                break;
+            }
+        }
+        assert!(caught, "tampering must be detected");
+    }
+
+    #[test]
+    fn tampering_breaks_inclusion_proof_even_with_matching_oracle() {
+        // Even if the auditor cannot recompute (oracle returns the forged
+        // contents), the inclusion proof against the published root fails.
+        let mut log = StepLog::new(steps(16));
+        let root = log.root();
+        log.tamper(3, b"forged".to_vec());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut caught = false;
+        for _ in 0..100 {
+            if !audit(&log, &root, 4, |i| log.respond(i).0, &mut rng) {
+                caught = true;
+                break;
+            }
+        }
+        assert!(caught);
+    }
+
+    #[test]
+    fn challenge_count_meets_target() {
+        // 1000 steps, a million devices: one challenge each is plenty.
+        assert_eq!(challenges_per_device(1000, 1_000_000, 1e-9), 1);
+        // 1000 steps, 20 devices: need many more.
+        let k = challenges_per_device(1000, 20, 1e-9);
+        assert!(k > 100, "few devices must audit more: {k}");
+        // The bound holds.
+        let miss = (1.0 - k as f64 / 1000.0).powf(20.0);
+        assert!(miss <= 1e-9);
+    }
+}

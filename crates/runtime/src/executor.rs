@@ -1,0 +1,613 @@
+//! Concrete plan execution (§5).
+//!
+//! Executes a physical plan end-to-end on a simulated deployment: real
+//! sortition over a device registry, real BGV encryption and homomorphic
+//! aggregation, real one-hot ZKPs, a real VSR key handoff between the
+//! key-generation and decryption committees, and real MPC vignettes
+//! (share-based noising and argmax) with full communication metering.
+//! The deployment is laptop-scale (hundreds of devices); the paper-scale
+//! costs come from the planner's cost model, exactly mirroring the
+//! paper's benchmark-then-extrapolate methodology (§7.1).
+
+use arboretum_bgv::{
+    add as bgv_add, decrypt as bgv_decrypt, encode_coeffs, encrypt as bgv_encrypt,
+    keygen as bgv_keygen, BgvContext, BgvParams, Ciphertext,
+};
+use arboretum_crypto::pedersen::PedersenParams;
+use arboretum_crypto::schnorr::{verify as schnorr_verify, Signature};
+use arboretum_crypto::sha256::{sha256, Digest};
+use arboretum_dp::budget::{BudgetLedger, PrivacyCost};
+use arboretum_field::fixed::Fix;
+use arboretum_lang::ast::DbSchema;
+use arboretum_mpc::engine::MpcEngine;
+use arboretum_mpc::fixp::{inject_with_cost, FunctionalityCost};
+use arboretum_mpc::network::NetMetrics;
+use arboretum_planner::logical::LogicalPlan;
+use arboretum_planner::plan::{PhysOp, Plan};
+use arboretum_sortition::select::{select_committees, Registry};
+use arboretum_vsr::{
+    combine_batches, feldman_share, reconstruct as vsr_reconstruct, redistribute_share,
+};
+use arboretum_zkp::onehot::{prove_one_hot, verify_one_hot, OneHotProof};
+use arboretum_zkp::range::{prove_range, verify_range};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use std::collections::HashMap;
+
+use crate::audit::{audit, challenges_per_device, StepLog};
+use crate::mpc_eval::{MVal, MechStyle, MpcEvaluator};
+
+/// Finds the top-level aggregation statement `var = sum(<db view>)`,
+/// returning the bound variable name and the index of the statement
+/// *after* it.
+fn find_aggregation(program: &arboretum_lang::ast::Program) -> Option<(String, usize)> {
+    use arboretum_lang::ast::{Builtin, Expr, Stmt};
+    let mut db_views = vec!["db".to_string()];
+    for (i, stmt) in program.stmts.iter().enumerate() {
+        if let Stmt::Assign(name, expr) = stmt {
+            match expr {
+                Expr::Call(Builtin::SampleUniform, _) => db_views.push(name.clone()),
+                Expr::Call(Builtin::Sum, args) => {
+                    let over_db = matches!(&args[0], Expr::Var(v) if db_views.contains(v))
+                        || matches!(&args[0], Expr::Call(Builtin::SampleUniform, _));
+                    if over_db {
+                        return Some((name.clone(), i + 1));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// A simulated deployment: registered devices plus their private rows.
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    /// The sortition registry.
+    pub registry: Registry,
+    /// Private one-hot rows, one per device.
+    pub db: Vec<Vec<i64>>,
+    /// The declared schema.
+    pub schema: DbSchema,
+    /// The current random beacon.
+    pub beacon: Digest,
+}
+
+impl Deployment {
+    /// Builds a deployment from explicit numeric rows under a declared
+    /// schema (clipped range per field).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty or ragged.
+    pub fn from_rows(db: Vec<Vec<i64>>, schema: DbSchema) -> Self {
+        assert!(!db.is_empty(), "deployment needs at least one device");
+        let width = db[0].len();
+        assert!(db.iter().all(|r| r.len() == width), "ragged rows");
+        let registry = Registry::new(
+            (0..db.len() as u64)
+                .map(arboretum_sortition::select::Device::from_id)
+                .collect(),
+        );
+        Self {
+            registry,
+            db,
+            schema,
+            beacon: sha256(b"genesis-beacon"),
+        }
+    }
+
+    /// Builds a deployment where device `i` belongs to category
+    /// `assignments[i]` out of `categories`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment is out of range.
+    pub fn one_hot(assignments: &[usize], categories: usize) -> Self {
+        let db: Vec<Vec<i64>> = assignments
+            .iter()
+            .map(|&c| {
+                assert!(c < categories, "category {c} out of range");
+                let mut row = vec![0i64; categories];
+                row[c] = 1;
+                row
+            })
+            .collect();
+        let registry = Registry::new(
+            (0..assignments.len() as u64)
+                .map(arboretum_sortition::select::Device::from_id)
+                .collect(),
+        );
+        Self {
+            registry,
+            db,
+            schema: DbSchema::one_hot(assignments.len() as u64, categories),
+            beacon: sha256(b"genesis-beacon"),
+        }
+    }
+}
+
+/// Execution configuration.
+#[derive(Clone, Debug)]
+pub struct ExecutionConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Network latency model for the elapsed-time estimate (§7.5).
+    pub latency: arboretum_mpc::network::LatencyModel,
+    /// Per-party compute model for the elapsed-time estimate (§7.5).
+    pub compute: Option<arboretum_mpc::network::ComputeModel>,
+    /// Concrete committee size for the simulated MPCs (the *plan's*
+    /// committee size is used for cost accounting; this one keeps the
+    /// simulation fast).
+    pub committee_size: usize,
+    /// Fraction of participants submitting malformed inputs.
+    pub malicious_fraction: f64,
+    /// Remaining privacy budget before this query.
+    pub budget: PrivacyCost,
+    /// Step-audit miss probability target.
+    pub p_max: f64,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            latency: arboretum_mpc::network::LatencyModel::lan(),
+            compute: None,
+            committee_size: 5,
+            malicious_fraction: 0.0,
+            budget: PrivacyCost {
+                epsilon: 10.0,
+                delta: 1e-6,
+            },
+            p_max: 1e-9,
+        }
+    }
+}
+
+/// The query authorization certificate (§5.2).
+#[derive(Clone, Debug)]
+pub struct QueryCert {
+    /// Digest of the published public key.
+    pub pk_digest: Digest,
+    /// The registry Merkle root `M_i`.
+    pub registry_root: Digest,
+    /// Remaining budget after this query.
+    pub budget_after: PrivacyCost,
+    /// The next beacon block `B_{i+1}`.
+    pub next_beacon: Digest,
+    /// Committee members' signatures over the certificate body.
+    pub signatures: Vec<(usize, Signature)>,
+}
+
+impl QueryCert {
+    /// Canonical signed bytes.
+    pub fn body(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(&self.pk_digest);
+        b.extend_from_slice(&self.registry_root);
+        b.extend_from_slice(&self.budget_after.epsilon.to_be_bytes());
+        b.extend_from_slice(&self.budget_after.delta.to_be_bytes());
+        b.extend_from_slice(&self.next_beacon);
+        b
+    }
+
+    /// Verifies every member signature against the registry.
+    pub fn verify(&self, registry: &Registry) -> bool {
+        let body = self.body();
+        !self.signatures.is_empty()
+            && self
+                .signatures
+                .iter()
+                .all(|(idx, sig)| schnorr_verify(&registry.device(*idx).keypair.pk, &body, sig))
+    }
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Privacy budget exhausted.
+    BudgetExhausted,
+    /// The plan contains an operation the executor cannot run.
+    Unsupported(String),
+    /// An MPC operation failed.
+    Mpc(String),
+    /// Key transfer between committees failed.
+    KeyTransfer(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BudgetExhausted => write!(f, "privacy budget exhausted"),
+            Self::Unsupported(s) => write!(f, "unsupported operation: {s}"),
+            Self::Mpc(s) => write!(f, "MPC failure: {s}"),
+            Self::KeyTransfer(s) => write!(f, "VSR key transfer failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The result of one end-to-end execution.
+#[derive(Clone, Debug)]
+pub struct ExecutionReport {
+    /// Released outputs (category indices or noised counts, per the
+    /// query's mechanism).
+    pub outputs: Vec<i64>,
+    /// The signed query certificate.
+    pub certificate: QueryCert,
+    /// Inputs rejected for bad ZKPs.
+    pub rejected_inputs: usize,
+    /// Accepted inputs.
+    pub accepted_inputs: usize,
+    /// Aggregate MPC communication metrics across committee vignettes.
+    pub mpc_metrics: NetMetrics,
+    /// Whether the aggregator's step log passed the participants' audits.
+    pub audit_ok: bool,
+    /// Estimated wall-clock seconds for the committee MPCs under the
+    /// configured latency/compute models (§7.5).
+    pub mpc_elapsed_estimate_secs: f64,
+    /// Remaining budget after the query.
+    pub budget_after: PrivacyCost,
+}
+
+/// Executes a plan on a deployment.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on budget exhaustion or protocol failures.
+pub fn execute(
+    plan: &Plan,
+    logical: &LogicalPlan,
+    deployment: &Deployment,
+    cfg: &ExecutionConfig,
+) -> Result<ExecutionReport, ExecError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let categories = deployment.schema.row_width;
+    let n = deployment.db.len();
+    let m = cfg.committee_size;
+    let t = (m - 1) / 2;
+
+    // ---- Setup: sortition seats the committees (§5.1). ----
+    let roles = 5; // keygen, decryption, noising, argmax, output.
+    let committees = select_committees(&deployment.registry, &deployment.beacon, 1, roles, m);
+
+    // ---- Key generation committee (§5.2). ----
+    let bgv_params = BgvParams::new(
+        256.max(categories.next_power_of_two()),
+        vec![
+            arboretum_field::primes::BGV_Q1,
+            arboretum_field::primes::BGV_Q2,
+        ],
+        arboretum_field::primes::BGV_Q_ROOTS[..2].to_vec(),
+        1 << 30,
+        None,
+    )
+    .map_err(|e| ExecError::Unsupported(e.to_string()))?;
+    let ctx = BgvContext::new(bgv_params);
+    let (sk, pk) = bgv_keygen(&ctx, &mut rng);
+    // Budget check before authorizing (§5.2).
+    let mut ledger = BudgetLedger::new(cfg.budget);
+    ledger
+        .charge(logical.certificate.cost)
+        .map_err(|_| ExecError::BudgetExhausted)?;
+
+    // Meter the distributed keygen in an MPC engine.
+    let mut keygen_mpc = MpcEngine::new(m, t, true, cfg.seed ^ xkey_gen_tag());
+    inject_with_cost(
+        &mut keygen_mpc,
+        Fix::ZERO,
+        FunctionalityCost {
+            mults: 500,
+            rounds: 60,
+        },
+    );
+
+    // Certificate: pk digest, registry root, budget, next beacon, signed
+    // by every keygen-committee member.
+    let pk_digest = {
+        let mut bytes = Vec::new();
+        for row in &pk.a.rows {
+            for &c in row.iter().take(8) {
+                bytes.extend_from_slice(&c.to_be_bytes());
+            }
+        }
+        sha256(&bytes)
+    };
+    let contributions: Vec<Digest> = committees.committees[0]
+        .iter()
+        .map(|&d| sha256(&(d as u64).to_be_bytes()))
+        .collect();
+    let next_beacon =
+        arboretum_sortition::select::next_block(&contributions, &deployment.registry.root());
+    let mut cert = QueryCert {
+        pk_digest,
+        registry_root: deployment.registry.root(),
+        budget_after: ledger.remaining(),
+        next_beacon,
+        signatures: Vec::new(),
+    };
+    let body = cert.body();
+    cert.signatures = committees.committees[0]
+        .iter()
+        .map(|&d| (d, deployment.registry.device(d).keypair.sign(&body)))
+        .collect();
+
+    // ---- Input phase (§5.3): encrypt + prove, aggregator verifies. ----
+    let pp = PedersenParams::standard();
+    let mut accepted: Vec<Ciphertext> = Vec::new();
+    let mut rejected = 0usize;
+    let mut step_results: Vec<Vec<u8>> = Vec::new();
+    let one_hot_schema = deployment.schema.one_hot;
+    let range_bits = {
+        let span = (deployment.schema.hi - deployment.schema.lo).max(1) as u64;
+        64 - span.leading_zeros()
+    };
+    for (i, row) in deployment.db.iter().enumerate() {
+        let bits: Vec<u64> = row.iter().map(|&v| v as u64).collect();
+        let is_malicious = rng.gen::<f64>() < cfg.malicious_fraction;
+        if !one_hot_schema {
+            // Numerical inputs: per-field range proofs (§5.3's "1,000
+            // years old" defense).
+            let lo = deployment.schema.lo;
+            let effective_row: Vec<i64> = if is_malicious {
+                row.iter()
+                    .map(|&v| v + (deployment.schema.hi - lo + 1))
+                    .collect()
+            } else {
+                row.clone()
+            };
+            let proofs: Option<Vec<_>> = effective_row
+                .iter()
+                .map(|&v| {
+                    let shifted = v.checked_sub(lo).filter(|&s| s >= 0)? as u64;
+                    prove_range(&pp, shifted, range_bits, &mut rng).ok()
+                })
+                .collect();
+            let all_ok = proofs
+                .as_ref()
+                .is_some_and(|ps| ps.iter().all(|(p, _)| verify_range(&pp, p, range_bits)));
+            if !all_ok {
+                rejected += 1;
+                continue;
+            }
+            if let Some(phi) = logical.certificate.sampling_rate {
+                if rng.gen::<f64>() >= phi {
+                    step_results.push(format!("input-{i}-binned-out").into_bytes());
+                    continue;
+                }
+            }
+            let vals: Vec<u64> = effective_row.iter().map(|&v| v as u64).collect();
+            let msg =
+                encode_coeffs(&ctx, &vals).map_err(|e| ExecError::Unsupported(e.to_string()))?;
+            let ct = bgv_encrypt(&ctx, &pk, &msg, &mut rng);
+            step_results.push(format!("input-{i}-ok").into_bytes());
+            accepted.push(ct);
+            continue;
+        }
+        let (upload_bits, proof): (Vec<u64>, Option<OneHotProof>) = if is_malicious {
+            // Malformed input: claims two categories at once.
+            let mut bad = bits.clone();
+            if let Some(slot) = bad.iter_mut().find(|b| **b == 0) {
+                *slot = 1;
+            }
+            // A malicious client cannot produce a valid proof for a
+            // non-one-hot vector; it sends a proof for different data.
+            let p = prove_one_hot(&pp, &bits, &mut rng).ok();
+            (
+                bad,
+                p.map(|mut p| {
+                    // Tamper so verification fails.
+                    p.bit_proofs.pop();
+                    p
+                }),
+            )
+        } else {
+            let p = prove_one_hot(&pp, &bits, &mut rng).ok();
+            (bits, p)
+        };
+        let ok = proof.as_ref().is_some_and(|p| verify_one_hot(&pp, p));
+        if !ok {
+            rejected += 1;
+            continue;
+        }
+        // Secrecy of the sample (§6): each participant's upload lands in
+        // a random bin; only the committee's secret window is decrypted.
+        // The simulation applies the equivalent inclusion decision here.
+        if let Some(phi) = logical.certificate.sampling_rate {
+            if rng.gen::<f64>() >= phi {
+                step_results.push(format!("input-{i}-binned-out").into_bytes());
+                continue;
+            }
+        }
+        let msg =
+            encode_coeffs(&ctx, &upload_bits).map_err(|e| ExecError::Unsupported(e.to_string()))?;
+        let ct = bgv_encrypt(&ctx, &pk, &msg, &mut rng);
+        step_results.push(format!("input-{i}-ok").into_bytes());
+        accepted.push(ct);
+    }
+
+    // ---- Aggregation vignette. ----
+    let uses_tree = plan
+        .vignettes
+        .iter()
+        .any(|v| matches!(v.op, PhysOp::SumTree { .. }));
+    let total_ct = if uses_tree {
+        // Tree: group inputs, sum groups (on devices), then sum partials.
+        let fanout = plan
+            .vignettes
+            .iter()
+            .find_map(|v| match v.op {
+                PhysOp::SumTree { fanout } => Some(fanout as usize),
+                _ => None,
+            })
+            .expect("checked above");
+        let mut partials: Vec<Ciphertext> = accepted
+            .chunks(fanout.max(2))
+            .map(|chunk| {
+                let mut acc = chunk[0].clone();
+                for ct in &chunk[1..] {
+                    acc = bgv_add(&ctx, &acc, ct);
+                }
+                acc
+            })
+            .collect();
+        step_results.push(b"sum-tree-level-0".to_vec());
+        while partials.len() > 1 {
+            partials = partials
+                .chunks(fanout.max(2))
+                .map(|chunk| {
+                    let mut acc = chunk[0].clone();
+                    for ct in &chunk[1..] {
+                        acc = bgv_add(&ctx, &acc, ct);
+                    }
+                    acc
+                })
+                .collect();
+        }
+        partials.remove(0)
+    } else {
+        let mut acc = accepted
+            .first()
+            .cloned()
+            .ok_or_else(|| ExecError::Unsupported("no accepted inputs".into()))?;
+        for ct in &accepted[1..] {
+            acc = bgv_add(&ctx, &acc, ct);
+        }
+        step_results.push(b"aggregator-sum".to_vec());
+        acc
+    };
+
+    // ---- VSR: key handoff keygen → decryption committee (§5.2). ----
+    let key_secret = arboretum_crypto::group::scalar_from_hash(&sha256(
+        &sk.s.iter().map(|&c| c as u8).collect::<Vec<u8>>(),
+    ));
+    let keygen_sharing = feldman_share(key_secret, t, m, &mut rng);
+    let batches: Vec<_> = keygen_sharing
+        .shares
+        .iter()
+        .map(|s| redistribute_share(s, t, m, &mut rng))
+        .collect();
+    let dec_shares = combine_batches(&batches, &keygen_sharing.commitments, t, m)
+        .map_err(|e| ExecError::KeyTransfer(e.to_string()))?;
+    let recovered =
+        vsr_reconstruct(&dec_shares, t).map_err(|e| ExecError::KeyTransfer(e.to_string()))?;
+    if recovered != key_secret {
+        return Err(ExecError::KeyTransfer("key digest mismatch".into()));
+    }
+
+    // ---- Decryption to shares (§5.4). ----
+    let counts_raw = bgv_decrypt(&ctx, &sk, &total_ct);
+    let counts: Vec<i64> = counts_raw[..categories].iter().map(|&v| v as i64).collect();
+    let mut mpc = MpcEngine::new(m, t, true, cfg.seed ^ x0p5_tag());
+    // Charge the distributed-decryption cost.
+    inject_with_cost(
+        &mut mpc,
+        Fix::ZERO,
+        FunctionalityCost {
+            mults: 64,
+            rounds: 4,
+        },
+    );
+    step_results.push(b"decrypt-to-shares".to_vec());
+
+    // ---- Mechanism and post-processing vignettes (§5.4). ----
+    //
+    // The generalized MPC evaluator executes every statement after the
+    // aggregation on secret shares: score preparation (prefix sums,
+    // revenue scores, rank distances), DP mechanisms (metered noise
+    // injection + secure argmax), and cleartext post-processing of
+    // released values.
+    let style = if plan
+        .vignettes
+        .iter()
+        .any(|v| matches!(v.op, PhysOp::ExpSample))
+    {
+        MechStyle::ExpSample
+    } else {
+        MechStyle::Gumbel
+    };
+    // Find the aggregation statement `var = sum(db-view)` to bind the
+    // decrypted counts and resume execution after it.
+    let (sum_var, resume_at) = find_aggregation(&logical.program)
+        .ok_or_else(|| ExecError::Unsupported("no sum(db) aggregation found".into()))?;
+    let mut env = HashMap::new();
+    let count_shares: Vec<arboretum_mpc::engine::Shared> = counts
+        .iter()
+        .map(|&c| mpc.dealer_share(arboretum_field::FGold::from_i64(c)))
+        .collect();
+    env.insert(sum_var, MVal::SharedArr(count_shares));
+    let mut eval_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
+    let outputs = {
+        let mut evaluator = MpcEvaluator::new(&mut mpc, &mut eval_rng, env, style);
+        evaluator
+            .block(&logical.program.stmts[resume_at..])
+            .map_err(|e| ExecError::Mpc(e.to_string()))?;
+        evaluator.outputs
+    };
+    step_results.push(b"mechanism-vignettes".to_vec());
+
+    // ---- Output committee releases; aggregator logs steps (§5.5). ----
+    step_results.push(
+        outputs
+            .iter()
+            .flat_map(|o| o.to_be_bytes())
+            .collect::<Vec<u8>>(),
+    );
+    let log = StepLog::new(step_results);
+    let root = log.root();
+    let k = challenges_per_device(log.len(), n as u64, cfg.p_max);
+    let honest: Vec<Vec<u8>> = (0..log.len()).map(|i| log.respond(i).0).collect();
+    let mut audit_ok = true;
+    for _ in 0..n.min(50) {
+        if !audit(&log, &root, k, |i| honest[i].clone(), &mut rng) {
+            audit_ok = false;
+        }
+    }
+
+    // Merge MPC metrics.
+    let mut metrics = mpc.net.metrics.clone();
+    metrics.rounds += keygen_mpc.net.metrics.rounds;
+    metrics.bytes_sent_total += keygen_mpc.net.metrics.bytes_sent_total;
+    metrics.field_mults += keygen_mpc.net.metrics.field_mults;
+    metrics.triples += keygen_mpc.net.metrics.triples;
+
+    // Elapsed-time estimate under the configured heterogeneity models
+    // (reference per-multiplication cost from the §7.5 calibration).
+    let compute = cfg
+        .compute
+        .clone()
+        .unwrap_or_else(|| arboretum_mpc::network::ComputeModel::uniform(m));
+    let per_mult_secs = 9.0e-4; // 73.8 s / ~80k mults, the §7.5 anchor.
+    let mpc_elapsed_estimate_secs = mpc.net.elapsed_secs(&cfg.latency, &compute, per_mult_secs);
+
+    Ok(ExecutionReport {
+        outputs,
+        certificate: cert,
+        rejected_inputs: rejected,
+        accepted_inputs: accepted.len(),
+        mpc_metrics: metrics,
+        audit_ok,
+        mpc_elapsed_estimate_secs,
+        budget_after: ledger.remaining(),
+    })
+}
+
+// Small helpers to derive distinct RNG stream tags without magic numbers
+// at the call sites.
+#[allow(non_snake_case)]
+fn _tag(b: &[u8]) -> u64 {
+    let d = sha256(b);
+    u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]])
+}
+
+fn x0p5_tag() -> u64 {
+    _tag(b"mechanism-mpc")
+}
+
+fn xkey_gen_tag() -> u64 {
+    _tag(b"keygen-mpc")
+}

@@ -1,0 +1,23 @@
+//! Arboretum's query runtime (§5).
+//!
+//! Executes planner-produced physical plans on a simulated deployment:
+//! sortition seats the committees, the key-generation committee produces
+//! the BGV keypair and a signed query-authorization certificate,
+//! participants upload encrypted one-hot inputs with zero-knowledge
+//! well-formedness proofs, the aggregator (or a participant sum tree)
+//! aggregates homomorphically, VSR hands the key to the decryption
+//! committee, MPC vignettes noise and select, and the aggregator's
+//! step log is spot-audited by participants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod executor;
+pub mod mpc_eval;
+pub mod session;
+
+pub use audit::{audit, challenges_per_device, StepLog};
+pub use executor::{execute, Deployment, ExecError, ExecutionConfig, ExecutionReport, QueryCert};
+pub use mpc_eval::{MVal, MechStyle, MpcEvalError, MpcEvaluator};
+pub use session::{reassign_for_churn, QueryRecord, Session, SessionError};

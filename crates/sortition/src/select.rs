@@ -1,0 +1,303 @@
+//! Hash-based committee selection (Honeycrisp-style sortition, §5.1).
+//!
+//! The system keeps a random beacon block `B_i` and a Merkle tree of
+//! registered devices. For query `i`, each device signs `(B_i, i, 0)`
+//! with its *deterministic* signature scheme and hashes the signature;
+//! the `c·m` devices with the lowest hashes form the committees, device
+//! with the `x`-th lowest hash joining committee `⌊x/m⌋`. Determinism
+//! means a device gets exactly one ticket — it cannot grind, and neither
+//! can the aggregator (the Merkle tree pins the device set before `B` is
+//! revealed).
+
+use arboretum_crypto::merkle::MerkleTree;
+use arboretum_crypto::schnorr::{verify, Keypair, PublicKey, Signature};
+use arboretum_crypto::sha256::{sha256, Digest};
+
+/// A registered device: identity plus signing keys.
+#[derive(Clone, Debug)]
+pub struct Device {
+    /// Stable device identifier.
+    pub id: u64,
+    /// The device's signing keypair (simulation-side; a real deployment
+    /// holds only its own).
+    pub keypair: Keypair,
+}
+
+impl Device {
+    /// Derives a device deterministically from its id (simulation).
+    pub fn from_id(id: u64) -> Self {
+        Self {
+            id,
+            keypair: Keypair::from_seed(&id.to_be_bytes()),
+        }
+    }
+
+    /// The registry leaf bytes: id plus public key.
+    pub fn leaf_bytes(&self) -> Vec<u8> {
+        let mut v = self.id.to_be_bytes().to_vec();
+        v.extend_from_slice(&self.keypair.pk.0.to_bytes());
+        v
+    }
+}
+
+/// The device registry: a Merkle tree over `(id, pk)` leaves.
+#[derive(Clone, Debug)]
+pub struct Registry {
+    devices: Vec<Device>,
+    tree: MerkleTree,
+}
+
+impl Registry {
+    /// Builds the registry for a set of devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty.
+    pub fn new(devices: Vec<Device>) -> Self {
+        let leaves: Vec<Vec<u8>> = devices.iter().map(Device::leaf_bytes).collect();
+        let tree = MerkleTree::new(&leaves);
+        Self { devices, tree }
+    }
+
+    /// The Merkle root pinning the device set.
+    pub fn root(&self) -> Digest {
+        self.tree.root()
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the registry is empty (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Device access.
+    pub fn device(&self, idx: usize) -> &Device {
+        &self.devices[idx]
+    }
+
+    /// All devices (simulation-side iteration).
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+}
+
+/// One sortition ticket: the device, its signature, and the ticket hash.
+#[derive(Clone, Debug)]
+pub struct Ticket {
+    /// The device's registry index.
+    pub device_idx: usize,
+    /// The deterministic signature over `(block, query, 0)`.
+    pub signature: Signature,
+    /// `SHA-256(signature)`, the sortition rank.
+    pub hash: Digest,
+}
+
+/// The sortition message a device signs for query `query_idx` under
+/// beacon block `block`.
+pub fn sortition_message(block: &Digest, query_idx: u64) -> Vec<u8> {
+    let mut m = b"arboretum/sortition/".to_vec();
+    m.extend_from_slice(block);
+    m.extend_from_slice(&query_idx.to_be_bytes());
+    m.extend_from_slice(&0u64.to_be_bytes());
+    m
+}
+
+/// Computes a device's ticket for a query round.
+pub fn make_ticket(device: &Device, device_idx: usize, block: &Digest, query_idx: u64) -> Ticket {
+    let msg = sortition_message(block, query_idx);
+    let signature = device.keypair.sign(&msg);
+    Ticket {
+        device_idx,
+        signature,
+        hash: sha256(&signature.to_bytes()),
+    }
+}
+
+/// Verifies that a ticket is validly signed by the claimed device.
+pub fn verify_ticket(pk: &PublicKey, block: &Digest, query_idx: u64, ticket: &Ticket) -> bool {
+    let msg = sortition_message(block, query_idx);
+    verify(pk, &msg, &ticket.signature) && sha256(&ticket.signature.to_bytes()) == ticket.hash
+}
+
+/// The selected committees: `committees[k]` lists registry indices of
+/// committee `k`'s members.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Committees {
+    /// Member registry indices per committee.
+    pub committees: Vec<Vec<usize>>,
+    /// Committee size used.
+    pub m: usize,
+}
+
+/// Runs sortition: selects `c` committees of `m` members each.
+///
+/// # Panics
+///
+/// Panics if the registry holds fewer than `c·m` devices.
+pub fn select_committees(
+    registry: &Registry,
+    block: &Digest,
+    query_idx: u64,
+    c: usize,
+    m: usize,
+) -> Committees {
+    assert!(
+        registry.len() >= c * m,
+        "registry of {} devices cannot seat {c} committees of {m}",
+        registry.len()
+    );
+    let mut tickets: Vec<Ticket> = registry
+        .devices()
+        .iter()
+        .enumerate()
+        .map(|(i, d)| make_ticket(d, i, block, query_idx))
+        .collect();
+    tickets.sort_by_key(|a| a.hash);
+    let committees = (0..c)
+        .map(|k| {
+            tickets[k * m..(k + 1) * m]
+                .iter()
+                .map(|t| t.device_idx)
+                .collect()
+        })
+        .collect();
+    Committees { committees, m }
+}
+
+/// Derives the next beacon block from committee-contributed randomness
+/// (the XOR of member inputs, per §5.2), binding in the registry root to
+/// prevent grinding.
+pub fn next_block(contributions: &[Digest], registry_root: &Digest) -> Digest {
+    let mut acc = [0u8; 32];
+    for c in contributions {
+        for (a, b) in acc.iter_mut().zip(c) {
+            *a ^= b;
+        }
+    }
+    let mut m = acc.to_vec();
+    m.extend_from_slice(registry_root);
+    sha256(&m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(n: usize) -> Registry {
+        Registry::new((0..n as u64).map(Device::from_id).collect())
+    }
+
+    #[test]
+    fn committees_are_disjoint_and_sized() {
+        let reg = registry(200);
+        let block = sha256(b"beacon-0");
+        let sel = select_committees(&reg, &block, 1, 4, 10);
+        assert_eq!(sel.committees.len(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for c in &sel.committees {
+            assert_eq!(c.len(), 10);
+            for &d in c {
+                assert!(seen.insert(d), "device {d} seated twice");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let reg = registry(100);
+        let block = sha256(b"beacon");
+        let a = select_committees(&reg, &block, 7, 3, 5);
+        let b = select_committees(&reg, &block, 7, 3, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_rounds_give_different_committees() {
+        let reg = registry(500);
+        let block = sha256(b"beacon");
+        let a = select_committees(&reg, &block, 1, 2, 10);
+        let b = select_committees(&reg, &block, 2, 2, 10);
+        assert_ne!(a.committees, b.committees);
+    }
+
+    #[test]
+    fn different_blocks_give_different_committees() {
+        let reg = registry(500);
+        let a = select_committees(&reg, &sha256(b"b1"), 1, 2, 10);
+        let b = select_committees(&reg, &sha256(b"b2"), 1, 2, 10);
+        assert_ne!(a.committees, b.committees);
+    }
+
+    #[test]
+    fn tickets_verify_and_bind_device() {
+        let reg = registry(10);
+        let block = sha256(b"x");
+        let t = make_ticket(reg.device(3), 3, &block, 0);
+        assert!(verify_ticket(&reg.device(3).keypair.pk, &block, 0, &t));
+        // Wrong device, round, or block must fail.
+        assert!(!verify_ticket(&reg.device(4).keypair.pk, &block, 0, &t));
+        assert!(!verify_ticket(&reg.device(3).keypair.pk, &block, 1, &t));
+        assert!(!verify_ticket(
+            &reg.device(3).keypair.pk,
+            &sha256(b"y"),
+            0,
+            &t
+        ));
+    }
+
+    #[test]
+    fn tickets_cannot_be_reground() {
+        // Deterministic signatures: a device gets exactly one ticket hash
+        // per round.
+        let reg = registry(5);
+        let block = sha256(b"x");
+        let t1 = make_ticket(reg.device(0), 0, &block, 3);
+        let t2 = make_ticket(reg.device(0), 0, &block, 3);
+        assert_eq!(t1.hash, t2.hash);
+    }
+
+    #[test]
+    fn selection_is_roughly_uniform() {
+        // Across many rounds, every device should serve sometimes.
+        let n = 50;
+        let reg = registry(n);
+        let mut counts = vec![0u32; n];
+        for round in 0..200u64 {
+            let block = sha256(&round.to_be_bytes());
+            let sel = select_committees(&reg, &block, round, 1, 5);
+            for &d in &sel.committees[0] {
+                counts[d] += 1;
+            }
+        }
+        // Expected 20 selections each; allow wide slack.
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min >= 5, "some device starved: {min}");
+        assert!(max <= 45, "some device over-selected: {max}");
+    }
+
+    #[test]
+    fn beacon_evolution_depends_on_contributions_and_registry() {
+        let r1 = sha256(b"root1");
+        let r2 = sha256(b"root2");
+        let c1 = [sha256(b"a"), sha256(b"b")];
+        let c2 = [sha256(b"a"), sha256(b"c")];
+        assert_ne!(next_block(&c1, &r1), next_block(&c2, &r1));
+        assert_ne!(next_block(&c1, &r1), next_block(&c1, &r2));
+        // XOR is order-independent: honest contribution ordering cannot
+        // change the beacon.
+        let c1_swapped = [sha256(b"b"), sha256(b"a")];
+        assert_eq!(next_block(&c1, &r1), next_block(&c1_swapped, &r1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot seat")]
+    fn undersized_registry_panics() {
+        let reg = registry(10);
+        select_committees(&reg, &sha256(b"b"), 0, 3, 5);
+    }
+}

@@ -1,0 +1,49 @@
+//! Property-based tests for verifiable secret redistribution.
+
+use arboretum_crypto::group::{Scalar, GROUP_Q};
+use arboretum_vsr::{
+    combine_batches, feldman_share, feldman_verify, reconstruct, redistribute_share,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn share_verify_reconstruct(secret in 0..GROUP_Q, t in 1usize..4, extra in 1usize..5, seed in any::<u64>()) {
+        let m = 2 * t + extra;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = Scalar::new(secret);
+        let sharing = feldman_share(s, t, m, &mut rng);
+        for sh in &sharing.shares {
+            prop_assert!(feldman_verify(sh, &sharing.commitments));
+        }
+        prop_assert_eq!(reconstruct(&sharing.shares, t).unwrap(), s);
+    }
+
+    #[test]
+    fn redistribution_preserves_secret(secret in 0..GROUP_Q, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = Scalar::new(secret);
+        let (t_old, m_old, t_new, m_new) = (2, 6, 3, 8);
+        let old = feldman_share(s, t_old, m_old, &mut rng);
+        let batches: Vec<_> = old
+            .shares
+            .iter()
+            .map(|sh| redistribute_share(sh, t_new, m_new, &mut rng))
+            .collect();
+        let new = combine_batches(&batches, &old.commitments, t_old, m_new).unwrap();
+        prop_assert_eq!(reconstruct(&new, t_new).unwrap(), s);
+    }
+
+    #[test]
+    fn tampering_detected(secret in 0..GROUP_Q, delta in 1..GROUP_Q, idx in 0usize..5, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sharing = feldman_share(Scalar::new(secret), 2, 5, &mut rng);
+        let mut bad = sharing.shares[idx];
+        bad.y += Scalar::new(delta);
+        prop_assert!(!feldman_verify(&bad, &sharing.commitments));
+    }
+}

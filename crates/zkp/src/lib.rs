@@ -1,0 +1,22 @@
+//! Zero-knowledge proofs for Arboretum input validation.
+//!
+//! Participants upload encrypted inputs together with a proof of
+//! well-formedness (§5.3): one-hot vectors for categorical queries, range
+//! constraints for numerical ones. We implement real sigma-protocol
+//! proofs (Fiat–Shamir non-interactive) over the workspace Pedersen
+//! commitments, plus a Groth16-shaped [`cost::SnarkCostModel`] the
+//! planner uses for aggregator-side verification costs (the paper's
+//! prototype uses ZoKrates/G16, whose proofs are constant-size).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod onehot;
+pub mod range;
+pub mod sigma;
+
+pub use cost::SnarkCostModel;
+pub use onehot::{prove_one_hot, verify_one_hot, OneHotError, OneHotProof};
+pub use range::{prove_range, verify_range, RangeError, RangeProof};
+pub use sigma::{prove_bit, prove_dlog, verify_bit, verify_dlog, BitProof, DlogProof};

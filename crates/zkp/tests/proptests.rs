@@ -1,0 +1,62 @@
+//! Property-based tests for the ZK proofs.
+
+use arboretum_crypto::pedersen::PedersenParams;
+use arboretum_zkp::onehot::{prove_one_hot, verify_one_hot};
+use arboretum_zkp::range::{prove_range, verify_range};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn one_hot_completeness(k in 1usize..20, hot_seed in any::<u64>(), seed in any::<u64>()) {
+        let pp = PedersenParams::standard();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bits = vec![0u64; k];
+        bits[(hot_seed as usize) % k] = 1;
+        let proof = prove_one_hot(&pp, &bits, &mut rng).unwrap();
+        prop_assert!(verify_one_hot(&pp, &proof));
+    }
+
+    #[test]
+    fn one_hot_rejects_malformed(bits in prop::collection::vec(0u64..3, 1..12), seed in any::<u64>()) {
+        let pp = PedersenParams::standard();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let is_one_hot = bits.iter().all(|&b| b <= 1) && bits.iter().sum::<u64>() == 1;
+        let r = prove_one_hot(&pp, &bits, &mut rng);
+        prop_assert_eq!(r.is_ok(), is_one_hot);
+    }
+
+    #[test]
+    fn range_completeness(bits in 1u32..16, v_seed in any::<u64>(), seed in any::<u64>()) {
+        let pp = PedersenParams::standard();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = v_seed % (1u64 << bits);
+        let (proof, opening) = prove_range(&pp, v, bits, &mut rng).unwrap();
+        prop_assert!(verify_range(&pp, &proof, bits));
+        prop_assert!(pp.verify(&proof.commitment, &opening));
+    }
+
+    #[test]
+    fn range_soundness_against_width_confusion(bits in 2u32..12, seed in any::<u64>()) {
+        // A proof for width w never verifies at a different width.
+        let pp = PedersenParams::standard();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (proof, _) = prove_range(&pp, 1, bits, &mut rng).unwrap();
+        prop_assert!(!verify_range(&pp, &proof, bits - 1));
+        prop_assert!(!verify_range(&pp, &proof, bits + 1));
+    }
+
+    #[test]
+    fn proofs_are_rerandomized(seed in any::<u64>()) {
+        // Two proofs of the same statement differ (zero-knowledge needs
+        // fresh randomness).
+        let pp = PedersenParams::standard();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p1 = prove_one_hot(&pp, &[0, 1, 0], &mut rng).unwrap();
+        let p2 = prove_one_hot(&pp, &[0, 1, 0], &mut rng).unwrap();
+        prop_assert_ne!(p1.commitments[0], p2.commitments[0]);
+    }
+}

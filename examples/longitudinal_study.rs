@@ -1,0 +1,82 @@
+//! A longitudinal study: many queries over one deployment session.
+//!
+//! Demonstrates the system's long-lived behavior (§5.1–§5.2): the random
+//! beacon advances with every query so fresh committees are seated, the
+//! privacy-budget ledger carries across queries and eventually refuses
+//! service, and committee churn is handled by task reassignment.
+//!
+//! Run with: `cargo run --example longitudinal_study`
+
+use arboretum::dp::budget::PrivacyCost;
+use arboretum::runtime::session::{reassign_for_churn, Session};
+use arboretum::{Arboretum, CertifyConfig, DbSchema, Deployment, ExecutionConfig};
+
+fn main() {
+    let categories = 5;
+    let schema = DbSchema::one_hot(1 << 20, categories);
+    let system = Arboretum::new(1 << 20);
+
+    // A fixed cohort answering a monthly top-1 question.
+    let weights = [30usize, 55, 20, 40, 15];
+    let assignments: Vec<usize> = weights
+        .iter()
+        .enumerate()
+        .flat_map(|(c, &w)| std::iter::repeat_n(c, w))
+        .collect();
+    let deployment = Deployment::one_hot(&assignments, categories);
+
+    let prepared = system
+        .prepare(
+            "aggr = sum(db);\nr = em(aggr, 2.0);\noutput(r);",
+            schema,
+            CertifyConfig::default(),
+        )
+        .expect("monthly query certifies");
+
+    let mut session = Session::new(
+        deployment,
+        PrivacyCost {
+            epsilon: 7.0,
+            delta: 1e-8,
+        },
+    );
+
+    println!("monthly top-1 under a total budget of epsilon = 7.0:\n");
+    for month in 1.. {
+        match session.run_query(
+            &prepared.plan,
+            &prepared.logical,
+            &ExecutionConfig::default(),
+        ) {
+            Ok(report) => {
+                println!(
+                    "month {month}: winner = category {}, budget left = {:.2}, beacon = {:02x}{:02x}..",
+                    report.outputs[0],
+                    session.ledger.remaining().epsilon,
+                    session.deployment.beacon[0],
+                    session.deployment.beacon[1],
+                );
+            }
+            Err(e) => {
+                println!("month {month}: query refused — {e}");
+                break;
+            }
+        }
+    }
+
+    println!(
+        "\n{} queries completed; history: {:?}",
+        session.history.len(),
+        session
+            .history
+            .iter()
+            .map(|r| r.outputs[0])
+            .collect::<Vec<_>>()
+    );
+
+    // Churn: a 15%-tolerant plan with three committees where committee 1
+    // collapses — its task fails over to committee 2 (§5.1).
+    let assignment =
+        reassign_for_churn(&[40, 40, 40], &[3, 12, 1], 0.15).expect("not all committees dead");
+    println!("\nchurn failover (committee 1 lost 12/40 members): tasks run on {assignment:?}");
+}

@@ -1,0 +1,114 @@
+//! A medical research study: top-k side-effect discovery under a shared
+//! privacy budget.
+//!
+//! The intro's motivating scenario: a researcher looks for combinations
+//! of drugs/activities that trigger rare side effects. Each participant's
+//! device holds one categorical value (which side-effect bucket they
+//! experienced); the researcher runs a top-3 selection, then a follow-up
+//! gap query, against one privacy-budget ledger — the second query is
+//! only authorized if budget remains.
+//!
+//! Run with: `cargo run --example medical_study`
+
+use arboretum::dp::budget::{BudgetLedger, PrivacyCost};
+use arboretum::{Arboretum, CertifyConfig, DbSchema, Deployment, ExecutionConfig};
+
+const CONDITIONS: [&str; 12] = [
+    "none",
+    "headache",
+    "nausea",
+    "dizziness",
+    "rash",
+    "fatigue",
+    "insomnia",
+    "tremor",
+    "fever",
+    "cough",
+    "anxiety",
+    "palpitations",
+];
+
+fn main() {
+    let categories = CONDITIONS.len();
+    let schema = DbSchema::one_hot(1 << 22, categories);
+    let system = Arboretum::new(1 << 22);
+
+    // Simulated cohort: fatigue and headache dominate, tremor is a rare
+    // but real signal.
+    let weights = [400usize, 160, 60, 35, 25, 190, 45, 90, 30, 40, 55, 20];
+    let assignments: Vec<usize> = weights
+        .iter()
+        .enumerate()
+        .flat_map(|(c, &w)| std::iter::repeat_n(c, w))
+        .collect();
+    let deployment = Deployment::one_hot(&assignments, categories);
+
+    // The study's total budget for this quarter.
+    let mut ledger = BudgetLedger::new(PrivacyCost {
+        epsilon: 12.0,
+        delta: 1e-8,
+    });
+
+    // --- Query 1: the three most common side effects. ---
+    let top3 = system
+        .prepare(
+            "aggr = sum(db);\n\
+             top = emTopK(aggr, 3, 4.0);\n\
+             for i = 0 to 2 do output(top[i]); endfor",
+            schema,
+            CertifyConfig::default(),
+        )
+        .expect("top-3 certifies");
+    let q1_cost = top3.certificate().cost;
+    println!(
+        "query 1 (top-3): costs epsilon {:.3} (sqrt(3) x 4.0)",
+        q1_cost.epsilon
+    );
+    ledger.charge(q1_cost).expect("budget covers query 1");
+
+    let exec = ExecutionConfig {
+        budget: PrivacyCost {
+            epsilon: q1_cost.epsilon + 0.001,
+            delta: 1e-8,
+        },
+        ..Default::default()
+    };
+    let report = system.run(&top3, &deployment, &exec).expect("runs");
+    println!("top 3 side effects:");
+    for &idx in &report.outputs {
+        println!("  - {}", CONDITIONS[idx as usize]);
+    }
+
+    // --- Query 2: how decisive is the winner? (EM with free gap.) ---
+    let gap = system
+        .prepare(
+            "aggr = sum(db);\n\
+             rg = emGap(aggr, 4.0);\n\
+             output(rg[0]);\n\
+             output(rg[1]);",
+            schema,
+            CertifyConfig::default(),
+        )
+        .expect("gap certifies");
+    let q2_cost = gap.certificate().cost;
+    ledger.charge(q2_cost).expect("budget covers query 2");
+    println!(
+        "\nquery 2 (gap): costs epsilon {:.3}; remaining budget {:.3}",
+        q2_cost.epsilon,
+        ledger.remaining().epsilon
+    );
+
+    // --- Query 3 would exceed the remaining budget and is refused. ---
+    let q3_cost = PrivacyCost::pure(4.0);
+    match ledger.charge(q3_cost) {
+        Err(e) => println!("\nquery 3 refused by the key-generation committee: {e}"),
+        Ok(()) => unreachable!("budget math: 12 - 6.93 - 4 < 4"),
+    }
+
+    println!(
+        "\nplanner: query 1 seated {} committees of {} (fraction {:.5}%)",
+        top3.plan.total_committees,
+        top3.plan.committee_size,
+        top3.plan.committee_fraction() * 100.0
+    );
+}
