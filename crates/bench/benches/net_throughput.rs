@@ -1,0 +1,62 @@
+//! Criterion benchmark of the two transport fabrics: framed messages
+//! per second through the instant simulated path versus the threaded
+//! per-party path (real channels, real threads). The gap is the price
+//! of actual concurrency — useful when deciding which fabric an
+//! experiment harness should run on.
+
+use std::time::Duration;
+
+use arboretum_field::FGold;
+use arboretum_net::{threaded_fabric, Message, SimTransport, ThreadedConfig, Transport};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const PARTIES: usize = 5;
+const ELEMS: usize = 64;
+
+fn payload() -> Message {
+    Message::FieldElems((0..ELEMS as u64).map(FGold::new).collect())
+}
+
+/// One all-to-one exchange: every non-king party sends the payload to
+/// party 0, which receives all of them (the shape of a king-based open).
+fn bench_sim(c: &mut Criterion) {
+    let msg = payload();
+    c.bench_function("net/sim_gather_5x64", |b| {
+        b.iter(|| {
+            let mut fabric = SimTransport::new(PARTIES);
+            for p in 1..PARTIES {
+                fabric.send(p, 0, &msg).unwrap();
+            }
+            for p in 1..PARTIES {
+                std::hint::black_box(fabric.recv(0, p).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_threaded(c: &mut Criterion) {
+    let cfg = ThreadedConfig {
+        timeout: Duration::from_secs(5),
+        ..ThreadedConfig::default()
+    };
+    c.bench_function("net/threaded_gather_5x64", |b| {
+        b.iter(|| {
+            let mut endpoints = threaded_fabric(PARTIES, &cfg);
+            let mut king = endpoints.remove(0);
+            std::thread::scope(|s| {
+                for mut ep in endpoints {
+                    s.spawn(move || {
+                        let id = ep.id();
+                        ep.send(id, 0, &payload()).unwrap();
+                    });
+                }
+                for p in 1..PARTIES {
+                    std::hint::black_box(king.recv(0, p).unwrap());
+                }
+            });
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim, bench_threaded);
+criterion_main!(benches);

@@ -29,9 +29,9 @@
 //! ```
 //!
 //! The subsystem crates are re-exported under their topic names:
-//! [`lang`], [`planner`], [`runtime`], [`bgv`], [`mpc`], [`zkp`],
-//! [`sortition`], [`vsr`], [`dp`], [`crypto`], [`field`], and the
-//! evaluation [`queries`].
+//! [`lang`], [`planner`], [`runtime`], [`bgv`], [`mpc`], [`net`],
+//! [`zkp`], [`sortition`], [`vsr`], [`dp`], [`crypto`], [`field`], and
+//! the evaluation [`queries`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +42,7 @@ pub use arboretum_dp as dp;
 pub use arboretum_field as field;
 pub use arboretum_lang as lang;
 pub use arboretum_mpc as mpc;
+pub use arboretum_net as net;
 pub use arboretum_planner as planner;
 pub use arboretum_queries as queries;
 pub use arboretum_runtime as runtime;

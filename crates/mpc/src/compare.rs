@@ -17,7 +17,8 @@
 
 use arboretum_field::FGold;
 
-use crate::engine::{MpcEngine, MpcError, Shared};
+use crate::engine::MpcError;
+use crate::ops::MpcOps;
 
 /// Number of mask bits (statistical hiding of values up to `2^42`).
 const MASK_BITS: usize = 62;
@@ -38,12 +39,12 @@ pub const MAX_COMPARE_BITS: usize = 45;
 /// # Panics
 ///
 /// Panics if `bits` exceeds [`MAX_COMPARE_BITS`].
-pub fn less_than(
-    e: &mut MpcEngine,
-    x: &Shared,
-    y: &Shared,
+pub fn less_than<E: MpcOps>(
+    e: &mut E,
+    x: &E::Secret,
+    y: &E::Secret,
     bits: usize,
-) -> Result<Shared, MpcError> {
+) -> Result<E::Secret, MpcError> {
     assert!(
         bits <= MAX_COMPARE_BITS,
         "comparison width {bits} too large"
@@ -53,7 +54,7 @@ pub fn less_than(
     let z = e.add_const(&e.sub(x, y), offset);
 
     // Dealer random bits forming the mask R.
-    let (r_shares, _r_bits) = e.random_bits(MASK_BITS);
+    let r_shares = e.random_bits(MASK_BITS)?;
     let mut r_shared = e.zero();
     for (i, rb) in r_shares.iter().enumerate() {
         let scaled = e.mul_const(rb, FGold::new(1u64 << i));
@@ -116,11 +117,11 @@ pub fn less_than(
 /// # Panics
 ///
 /// Panics if `bits` exceeds [`MAX_COMPARE_BITS`].
-pub fn less_than_batch(
-    e: &mut MpcEngine,
-    pairs: &[(&Shared, &Shared)],
+pub fn less_than_batch<E: MpcOps>(
+    e: &mut E,
+    pairs: &[(&E::Secret, &E::Secret)],
     bits: usize,
-) -> Result<Vec<Shared>, MpcError> {
+) -> Result<Vec<E::Secret>, MpcError> {
     assert!(
         bits <= MAX_COMPARE_BITS,
         "comparison width {bits} too large"
@@ -131,11 +132,11 @@ pub fn less_than_batch(
     }
     let offset = FGold::new(1u64 << bits);
     // Per pair: mask bits and the masked value.
-    let mut all_r_shares: Vec<Vec<Shared>> = Vec::with_capacity(k);
-    let mut masked: Vec<Shared> = Vec::with_capacity(k);
+    let mut all_r_shares: Vec<Vec<E::Secret>> = Vec::with_capacity(k);
+    let mut masked: Vec<E::Secret> = Vec::with_capacity(k);
     for (x, y) in pairs {
         let z = e.add_const(&e.sub(x, y), offset);
-        let (r_shares, _) = e.random_bits(MASK_BITS);
+        let r_shares = e.random_bits(MASK_BITS)?;
         let mut r_shared = e.zero();
         for (i, rb) in r_shares.iter().enumerate() {
             let scaled = e.mul_const(rb, FGold::new(1u64 << i));
@@ -144,7 +145,7 @@ pub fn less_than_batch(
         masked.push(e.add(&z, &r_shared));
         all_r_shares.push(r_shares);
     }
-    let refs: Vec<&Shared> = masked.iter().collect();
+    let refs: Vec<&E::Secret> = masked.iter().collect();
     let cs: Vec<u64> = e
         .open_batch(&refs)?
         .into_iter()
@@ -152,10 +153,10 @@ pub fn less_than_batch(
         .collect();
     // Borrow chains advance in lockstep: one batched multiplication per
     // bit level across all pairs.
-    let mut borrows: Vec<Shared> = vec![e.zero(); k];
+    let mut borrows: Vec<E::Secret> = vec![e.zero(); k];
     #[allow(clippy::needless_range_loop)] // The bit index drives all pairs' chains.
     for i in 0..bits {
-        let mul_pairs: Vec<(&Shared, &Shared)> =
+        let mul_pairs: Vec<(&E::Secret, &E::Secret)> =
             (0..k).map(|p| (&all_r_shares[p][i], &borrows[p])).collect();
         let rbs = e.mul_batch(&mul_pairs)?;
         for p in 0..k {
@@ -169,7 +170,7 @@ pub fn less_than_batch(
         }
     }
     // Final XORs, batched: r_top XOR borrow = r + b - 2rb.
-    let xor_pairs: Vec<(&Shared, &Shared)> = (0..k)
+    let xor_pairs: Vec<(&E::Secret, &E::Secret)> = (0..k)
         .map(|p| (&all_r_shares[p][bits], &borrows[p]))
         .collect();
     let prods = e.mul_batch(&xor_pairs)?;
@@ -201,32 +202,32 @@ pub fn less_than_batch(
 /// # Panics
 ///
 /// Panics on an empty slice.
-pub fn argmax_tournament(
-    e: &mut MpcEngine,
-    xs: &[Shared],
+pub fn argmax_tournament<E: MpcOps>(
+    e: &mut E,
+    xs: &[E::Secret],
     bits: usize,
-) -> Result<(Shared, Shared), MpcError> {
+) -> Result<(E::Secret, E::Secret), MpcError> {
     assert!(!xs.is_empty(), "argmax of empty slice");
-    let mut vals: Vec<Shared> = xs.to_vec();
-    let mut idxs: Vec<Shared> = (0..xs.len())
+    let mut vals: Vec<E::Secret> = xs.to_vec();
+    let mut idxs: Vec<E::Secret> = (0..xs.len())
         .map(|i| e.constant(FGold::new(i as u64)))
         .collect();
     while vals.len() > 1 {
         let pairs_n = vals.len() / 2;
         // Compare (left, right) of each pair in one batch.
-        let cmp_pairs: Vec<(&Shared, &Shared)> = (0..pairs_n)
+        let cmp_pairs: Vec<(&E::Secret, &E::Secret)> = (0..pairs_n)
             .map(|p| (&vals[2 * p], &vals[2 * p + 1]))
             .collect();
         let right_wins = less_than_batch(e, &cmp_pairs, bits)?;
         // Select winners (value and index) in one batched multiplication:
         // winner = left + bit · (right − left).
-        let val_diffs: Vec<Shared> = (0..pairs_n)
+        let val_diffs: Vec<E::Secret> = (0..pairs_n)
             .map(|p| e.sub(&vals[2 * p + 1], &vals[2 * p]))
             .collect();
-        let idx_diffs: Vec<Shared> = (0..pairs_n)
+        let idx_diffs: Vec<E::Secret> = (0..pairs_n)
             .map(|p| e.sub(&idxs[2 * p + 1], &idxs[2 * p]))
             .collect();
-        let mut sel_pairs: Vec<(&Shared, &Shared)> = Vec::with_capacity(2 * pairs_n);
+        let mut sel_pairs: Vec<(&E::Secret, &E::Secret)> = Vec::with_capacity(2 * pairs_n);
         for p in 0..pairs_n {
             sel_pairs.push((&right_wins[p], &val_diffs[p]));
             sel_pairs.push((&right_wins[p], &idx_diffs[p]));
@@ -261,7 +262,11 @@ pub fn argmax_tournament(
 /// # Panics
 ///
 /// Panics on an empty slice.
-pub fn argmax(e: &mut MpcEngine, xs: &[Shared], bits: usize) -> Result<(Shared, Shared), MpcError> {
+pub fn argmax<E: MpcOps>(
+    e: &mut E,
+    xs: &[E::Secret],
+    bits: usize,
+) -> Result<(E::Secret, E::Secret), MpcError> {
     assert!(!xs.is_empty(), "argmax of empty slice");
     let mut best = xs[0].clone();
     let mut best_idx = e.constant(FGold::ZERO);
@@ -279,13 +284,14 @@ pub fn argmax(e: &mut MpcEngine, xs: &[Shared], bits: usize) -> Result<(Shared, 
 /// # Errors
 ///
 /// Propagates opening failures.
-pub fn max(e: &mut MpcEngine, xs: &[Shared], bits: usize) -> Result<Shared, MpcError> {
+pub fn max<E: MpcOps>(e: &mut E, xs: &[E::Secret], bits: usize) -> Result<E::Secret, MpcError> {
     Ok(argmax(e, xs, bits)?.0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{MpcEngine, Shared};
 
     fn engine() -> MpcEngine {
         MpcEngine::new(5, 2, false, 17)

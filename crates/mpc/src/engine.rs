@@ -2,18 +2,25 @@
 //!
 //! Simulates an `m`-party SPDZ-wise-Shamir computation in-process: secrets
 //! live as degree-`t` Shamir share vectors, linear operations are local,
-//! multiplications consume Beaver triples, and every communication step is
-//! metered through [`crate::network::NetMeter`]. Triples and random bits
-//! come from a dealer, standing in for the DN07-style preprocessing of the
-//! real protocol; the `malicious` flag applies the SPDZ-wise overhead
-//! (doubled share material and verification opens) to the meter, exactly
-//! the quantity the paper's cost model needs (§4.6, §6).
+//! multiplications consume Beaver triples, and every communication step
+//! travels as a framed [`arboretum_net::Message`] through an
+//! [`arboretum_net::SimTransport`] fabric. The analytic
+//! [`crate::network::NetMeter`] is fed the *actual encoded payload sizes*
+//! of those frames — the wire format is the single source of truth for
+//! byte counts, and received frames (not local state) supply the share
+//! values. Triples and random bits come from a dealer, standing in for
+//! the DN07-style preprocessing of the real protocol; the `malicious`
+//! flag applies the SPDZ-wise overhead (doubled share material and
+//! verification opens), exactly the quantity the paper's cost model
+//! needs (§4.6, §6).
 
 use arboretum_field::FGold;
+use arboretum_net::{Message, SimTransport, Transport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::network::{NetMeter, FIELD_BYTES};
+use crate::network::NetMeter;
+use crate::ops::MpcOps;
 use crate::shamir::{reconstruct, share, Share};
 
 /// A secret-shared field element (all parties' shares, simulation-side).
@@ -31,6 +38,8 @@ pub enum MpcError {
     OpenFailed(String),
     /// Operand widths differ.
     PartyMismatch,
+    /// The transport failed (timeout, crash, partition, wire decode).
+    Net(String),
 }
 
 impl std::fmt::Display for MpcError {
@@ -38,6 +47,7 @@ impl std::fmt::Display for MpcError {
         match self {
             Self::OpenFailed(e) => write!(f, "open failed: {e}"),
             Self::PartyMismatch => write!(f, "operand party counts differ"),
+            Self::Net(e) => write!(f, "transport failed: {e}"),
         }
     }
 }
@@ -55,6 +65,8 @@ pub struct MpcEngine {
     pub malicious: bool,
     /// The communication meter.
     pub net: NetMeter,
+    /// The instant in-process fabric every protocol message crosses.
+    fabric: SimTransport,
     rng: StdRng,
 }
 
@@ -76,33 +88,69 @@ impl MpcEngine {
             t,
             malicious,
             net: NetMeter::new(m),
+            fabric: SimTransport::new(m),
             rng: StdRng::seed_from_u64(seed),
         }
     }
 
-    fn byte_factor(&self) -> u64 {
-        // SPDZ-wise Shamir transmits a MAC-like second share per value.
+    /// Frames a batch of elements, appending the MAC companion share per
+    /// value in malicious mode (the SPDZ-wise doubling of share
+    /// material on the wire).
+    fn frame_elems(&self, elems: &[FGold]) -> Message {
         if self.malicious {
-            2
+            Message::FieldElems(elems.iter().flat_map(|&v| [v, v]).collect())
         } else {
-            1
+            Message::FieldElems(elems.to_vec())
         }
+    }
+
+    /// Extracts the value elements of a received frame, dropping the MAC
+    /// companions in malicious mode.
+    fn unframe_elems(&self, msg: &Message) -> Vec<FGold> {
+        let Message::FieldElems(elems) = msg else {
+            unreachable!("engine links carry only field-element frames")
+        };
+        if self.malicious {
+            elems.iter().copied().step_by(2).collect()
+        } else {
+            elems.clone()
+        }
+    }
+
+    /// Advances every party's round counter on the fabric and the meter.
+    fn sync_round(&mut self) {
+        for p in 0..self.m {
+            self.fabric.round(p);
+        }
+        self.net.round();
     }
 
     /// Secret-shares an input value contributed by `party`.
     ///
-    /// Meters one round in which the input party sends one share to every
-    /// other party.
+    /// One round: the input party frames one share to every other party,
+    /// and each recipient's share is taken from the decoded frame.
     pub fn input(&mut self, party: usize, v: FGold) -> Shared {
         let shares = share(v, self.t, self.m, &mut self.rng);
-        self.net.send(
-            party,
-            (self.m as u64 - 1) * FIELD_BYTES as u64 * self.byte_factor(),
-        );
-        self.net.round();
-        Shared {
-            shares: shares.into_iter().map(|s| s.y).collect(),
+        let mut ys: Vec<FGold> = shares.into_iter().map(|s| s.y).collect();
+        let mut sent = 0u64;
+        for (j, &y) in ys.iter().enumerate() {
+            if j == party {
+                continue;
+            }
+            let msg = self.frame_elems(&[y]);
+            sent += self.fabric.send(party, j, &msg).expect("engine fabric") as u64;
         }
+        self.net.send(party, sent);
+        #[allow(clippy::needless_range_loop)] // `j` is the receiving party id, not just an index.
+        for j in 0..self.m {
+            if j == party {
+                continue;
+            }
+            let got = self.fabric.recv(j, party).expect("frame in flight");
+            ys[j] = self.unframe_elems(&got)[0];
+        }
+        self.sync_round();
+        Shared { shares: ys }
     }
 
     /// Secret-shares a dealer/preprocessing value (no online cost).
@@ -115,36 +163,96 @@ impl MpcEngine {
 
     /// Opens (publicly reconstructs) a batch of shared values.
     ///
-    /// King-based opening: every party sends its shares to party 0, who
-    /// reconstructs and broadcasts. Two rounds regardless of batch size.
+    /// King-based opening: every party frames its shares to party 0, who
+    /// reconstructs from the decoded frames and broadcasts the results.
+    /// Two rounds regardless of batch size (three with the malicious
+    /// consistency echo).
     pub fn open_batch(&mut self, xs: &[&Shared]) -> Result<Vec<FGold>, MpcError> {
-        let k = xs.len() as u64;
-        let per_val = FIELD_BYTES as u64 * self.byte_factor();
         // Parties → king.
         for p in 1..self.m {
-            self.net.send(p, k * per_val);
+            let elems: Vec<FGold> = xs.iter().map(|x| x.shares[p]).collect();
+            let msg = self.frame_elems(&elems);
+            let sent = self.fabric.send(p, 0, &msg).expect("engine fabric") as u64;
+            self.net.send(p, sent);
         }
-        self.net.round();
-        // King → parties.
-        self.net.send(0, k * per_val * (self.m as u64 - 1));
-        self.net.round();
-        if self.malicious {
-            // Consistency check: all parties cross-verify the openings.
-            self.net.send_all(k * per_val);
-            self.net.round();
-        }
-        xs.iter()
+        self.sync_round();
+        // King reconstructs each value from its own share plus the
+        // decoded wire shares.
+        let mut cols: Vec<Vec<Share>> = xs
+            .iter()
             .map(|x| {
-                self.net.metrics.opens += 1;
-                let shares: Vec<Share> = x
-                    .shares
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &y)| Share { x: i as u64 + 1, y })
-                    .collect();
-                reconstruct(&shares, self.t).map_err(|e| MpcError::OpenFailed(e.to_string()))
+                let mut col = Vec::with_capacity(self.m);
+                col.push(Share {
+                    x: 1,
+                    y: x.shares[0],
+                });
+                col
             })
-            .collect()
+            .collect();
+        for p in 1..self.m {
+            let got = self.fabric.recv(0, p).expect("frame in flight");
+            let elems = self.unframe_elems(&got);
+            for (col, &y) in cols.iter_mut().zip(&elems) {
+                col.push(Share { x: p as u64 + 1, y });
+            }
+        }
+        let opened = cols
+            .iter()
+            .map(|col| {
+                self.net.metrics.opens += 1;
+                reconstruct(col, self.t).map_err(|e| MpcError::OpenFailed(e.to_string()))
+            })
+            .collect::<Result<Vec<FGold>, MpcError>>()?;
+        // King → parties.
+        let mut sent = 0u64;
+        for p in 1..self.m {
+            let msg = self.frame_elems(&opened);
+            sent += self.fabric.send(0, p, &msg).expect("engine fabric") as u64;
+        }
+        self.net.send(0, sent);
+        self.sync_round();
+        // The values the protocol continues with come off the wire (any
+        // non-king party's decoded broadcast; the king keeps its own).
+        let mut result = opened;
+        for p in 1..self.m {
+            let got = self.fabric.recv(p, 0).expect("frame in flight");
+            if p == 1 {
+                result = self.unframe_elems(&got);
+            }
+        }
+        if self.malicious {
+            // Consistency check: parties echo their opened view around a
+            // ring and cross-verify.
+            if self.m > 1 {
+                for p in 0..self.m {
+                    let msg = self.frame_elems(&result);
+                    let sent = self
+                        .fabric
+                        .send(p, (p + 1) % self.m, &msg)
+                        .expect("engine fabric") as u64;
+                    self.net.send(p, sent);
+                }
+                for p in 0..self.m {
+                    let got = self
+                        .fabric
+                        .recv(p, (p + self.m - 1) % self.m)
+                        .expect("frame in flight");
+                    let echoed = self.unframe_elems(&got);
+                    if echoed != result {
+                        return Err(MpcError::OpenFailed(
+                            "opening consistency echo mismatch".into(),
+                        ));
+                    }
+                }
+            } else {
+                // Degenerate single-party committee: the echo has no
+                // peer, but the model still charges the frame.
+                let msg = self.frame_elems(&result);
+                self.net.send(0, msg.payload_len() as u64);
+            }
+            self.sync_round();
+        }
+        Ok(result)
     }
 
     /// Opens a single value.
@@ -263,14 +371,40 @@ impl MpcEngine {
 
     /// Jointly samples a uniformly random shared field element.
     ///
-    /// Modeled as each party contributing a random sharing that is summed;
-    /// metered as one all-to-all round.
+    /// One all-to-all round: the dealer's sharing is echo-distributed —
+    /// every party relays every peer's share to that peer, and each
+    /// party adopts the relayed copy (a CGHN-style broadcast echo that
+    /// keeps a faulty relayer detectable). Each party therefore frames
+    /// `m − 1` elements, the same traffic as one contributed re-sharing.
     pub fn random(&mut self) -> Shared {
-        self.net
-            .send_all((self.m as u64 - 1) * FIELD_BYTES as u64 * self.byte_factor());
-        self.net.round();
         let v = FGold::new(self.rng.gen());
-        self.dealer_share(v)
+        let shares = share(v, self.t, self.m, &mut self.rng);
+        let mut ys: Vec<FGold> = shares.into_iter().map(|s| s.y).collect();
+        for p in 0..self.m {
+            let mut sent = 0u64;
+            for (j, &y) in ys.iter().enumerate() {
+                if j == p {
+                    continue;
+                }
+                let msg = self.frame_elems(&[y]);
+                sent += self.fabric.send(p, j, &msg).expect("engine fabric") as u64;
+            }
+            self.net.send(p, sent);
+        }
+        #[allow(clippy::needless_range_loop)] // `j` is the receiving party id, not just an index.
+        for j in 0..self.m {
+            for p in 0..self.m {
+                if p == j {
+                    continue;
+                }
+                let got = self.fabric.recv(j, p).expect("frame in flight");
+                let echoed = self.unframe_elems(&got)[0];
+                debug_assert_eq!(echoed, ys[j], "relayed share copies must agree");
+                ys[j] = echoed;
+            }
+        }
+        self.sync_round();
+        Shared { shares: ys }
     }
 
     /// Dealer-supplied shared random bits (preprocessing material for
@@ -306,6 +440,61 @@ impl MpcEngine {
     /// Access to the simulation RNG (for dealer-style functionality).
     pub fn rng(&mut self) -> &mut StdRng {
         &mut self.rng
+    }
+
+    /// A snapshot of the fabric's transport metrics (frames, payload and
+    /// framed bytes, rounds). Payload bytes match [`NetMeter`]'s modeled
+    /// bytes exactly; framing overhead is reported on top.
+    pub fn transport_metrics(&self) -> arboretum_net::TransportMetrics {
+        self.fabric.metrics()
+    }
+}
+
+impl MpcOps for MpcEngine {
+    type Secret = Shared;
+
+    fn parties(&self) -> usize {
+        self.m
+    }
+
+    fn input(&mut self, party: usize, v: FGold) -> Result<Shared, MpcError> {
+        Ok(MpcEngine::input(self, party, v))
+    }
+
+    fn zero(&self) -> Shared {
+        MpcEngine::zero(self)
+    }
+
+    fn constant(&self, c: FGold) -> Shared {
+        MpcEngine::constant(self, c)
+    }
+
+    fn add(&self, a: &Shared, b: &Shared) -> Shared {
+        MpcEngine::add(self, a, b)
+    }
+
+    fn sub(&self, a: &Shared, b: &Shared) -> Shared {
+        MpcEngine::sub(self, a, b)
+    }
+
+    fn add_const(&self, a: &Shared, c: FGold) -> Shared {
+        MpcEngine::add_const(self, a, c)
+    }
+
+    fn mul_const(&self, a: &Shared, c: FGold) -> Shared {
+        MpcEngine::mul_const(self, a, c)
+    }
+
+    fn random_bits(&mut self, k: usize) -> Result<Vec<Shared>, MpcError> {
+        Ok(MpcEngine::random_bits(self, k).0)
+    }
+
+    fn mul_batch(&mut self, pairs: &[(&Shared, &Shared)]) -> Result<Vec<Shared>, MpcError> {
+        MpcEngine::mul_batch(self, pairs)
+    }
+
+    fn open_batch(&mut self, xs: &[&Shared]) -> Result<Vec<FGold>, MpcError> {
+        MpcEngine::open_batch(self, xs)
     }
 }
 

@@ -16,6 +16,8 @@ pub mod compare;
 pub mod engine;
 pub mod fixp;
 pub mod network;
+pub mod ops;
+pub mod party;
 pub mod shamir;
 
 pub use compare::{argmax, argmax_tournament, less_than, less_than_batch, max, MAX_COMPARE_BITS};
@@ -24,4 +26,6 @@ pub use fixp::{
     field_to_fix, fix_to_field, inject_with_cost, shift_right, FunctionalityCost, SharedFix,
 };
 pub use network::{ComputeModel, LatencyModel, NetMeter, NetMetrics, FIELD_BYTES};
+pub use ops::MpcOps;
+pub use party::{shared_dealer, Dealer, Party, SharedDealer};
 pub use shamir::{lagrange_at_zero, reconstruct, share, ShamirError, Share};

@@ -38,6 +38,27 @@ impl LatencyModel {
         }
     }
 
+    /// Expands this model into a full `m × m` one-way latency matrix
+    /// (the shape `arboretum-net`'s threaded fabric consumes). A
+    /// uniform model yields its latency on every off-diagonal link; a
+    /// matrix smaller than `m` tiles by site assignment `i mod dim`.
+    pub fn one_way_matrix(&self, m: usize) -> Vec<Vec<f64>> {
+        match self {
+            Self::Uniform(l) => (0..m)
+                .map(|i| (0..m).map(|j| if i == j { 0.0 } else { *l }).collect())
+                .collect(),
+            Self::Matrix(mat) => {
+                assert!(!mat.is_empty(), "latency matrix must be non-empty");
+                (0..m)
+                    .map(|i| {
+                        let row = &mat[i % mat.len()];
+                        (0..m).map(|j| row[j % row.len()]).collect()
+                    })
+                    .collect()
+            }
+        }
+    }
+
     /// Builds the geo-distributed matrix used in §7.5: parties spread
     /// round-robin across Mumbai, New York, Paris, and Sydney, with
     /// one-way latencies from public inter-region RTT tables.
@@ -212,6 +233,56 @@ mod tests {
         m.send_all(10);
         assert_eq!(m.metrics.bytes_sent_total, 40);
         assert_eq!(m.metrics.bytes_sent_max, 10);
+    }
+
+    #[test]
+    fn round_latency_uniform_falls_back_to_the_single_value() {
+        assert_eq!(LatencyModel::Uniform(0.025).round_latency(), 0.025);
+        assert_eq!(LatencyModel::Uniform(0.0).round_latency(), 0.0);
+        assert_eq!(LatencyModel::lan().round_latency(), 0.0002);
+    }
+
+    #[test]
+    fn round_latency_takes_the_max_of_an_asymmetric_matrix() {
+        // Asymmetric links: 0→1 is slow, 1→0 fast; the synchronous
+        // round is bounded by the slowest directed link.
+        let l = LatencyModel::Matrix(vec![vec![0.0, 0.120], vec![0.010, 0.0]]);
+        assert_eq!(l.round_latency(), 0.120);
+        // The max may sit on the diagonal-free lower triangle too.
+        let l = LatencyModel::Matrix(vec![vec![0.0, 0.003], vec![0.200, 0.0]]);
+        assert_eq!(l.round_latency(), 0.200);
+    }
+
+    #[test]
+    fn round_latency_of_empty_and_degenerate_matrices() {
+        // An empty matrix folds to 0.0 rather than panicking, and a
+        // 1-party matrix is just its self-latency.
+        assert_eq!(LatencyModel::Matrix(vec![]).round_latency(), 0.0);
+        assert_eq!(LatencyModel::Matrix(vec![vec![0.0]]).round_latency(), 0.0);
+    }
+
+    #[test]
+    fn one_way_matrix_expands_uniform_and_tiles_small_matrices() {
+        let u = LatencyModel::Uniform(0.05).one_way_matrix(3);
+        for (i, row) in u.iter().enumerate() {
+            for (j, &l) in row.iter().enumerate() {
+                assert_eq!(l, if i == j { 0.0 } else { 0.05 });
+            }
+        }
+        // A 2x2 matrix tiled to 4 parties repeats by site index mod 2.
+        let m = LatencyModel::Matrix(vec![vec![0.0, 0.1], vec![0.2, 0.0]]).one_way_matrix(4);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m[0][1], 0.1);
+        assert_eq!(m[2][3], 0.1);
+        assert_eq!(m[1][0], 0.2);
+        assert_eq!(m[3][2], 0.2);
+        assert_eq!(m[0][2], 0.0, "same-site links are intra-site latency");
+        // The geo model expands consistently with its own matrix.
+        let geo = LatencyModel::geo_distributed(6);
+        let expanded = geo.one_way_matrix(6);
+        if let LatencyModel::Matrix(inner) = &geo {
+            assert_eq!(&expanded, inner);
+        }
     }
 
     #[test]

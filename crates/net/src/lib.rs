@@ -1,0 +1,36 @@
+//! Message transport for committee MPC.
+//!
+//! Arboretum's committees exchange Shamir shares, opened values, BGV
+//! ciphertext chunks, and VSR re-sharing batches. This crate is the
+//! communication substrate below the MPC engine:
+//!
+//! - [`wire`] — a versioned, length-prefixed frame format for every
+//!   message kind, with strict decoding;
+//! - [`transport`] — the [`Transport`] trait plus unified
+//!   [`TransportMetrics`] (rounds, payload bytes, framed bytes);
+//! - [`sim`] — the instant single-threaded fabric the analytic
+//!   simulator runs on;
+//! - [`threaded`] — a real concurrent fabric, one OS thread per party,
+//!   channels per link, modeled latency and jitter, timeouts everywhere;
+//! - [`fault`] — message loss, party crashes, partitions, and slow
+//!   parties layered over any fabric.
+//!
+//! Payload byte counts are defined so the threaded fabric's *measured*
+//! traffic equals the analytic `NetMeter` model in `arboretum-mpc`
+//! exactly — that equality is asserted in `arboretum-mpc`'s
+//! threaded-validation tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod sim;
+pub mod threaded;
+pub mod transport;
+pub mod wire;
+
+pub use fault::{FaultPlan, FaultyTransport};
+pub use sim::SimTransport;
+pub use threaded::{threaded_fabric, MetricsHandle, ThreadedConfig, ThreadedEndpoint};
+pub use transport::{NetError, Transport, TransportMetrics};
+pub use wire::{Message, Wire, WireError, WireShare};

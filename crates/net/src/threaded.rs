@@ -1,0 +1,350 @@
+//! The threaded fabric: each committee party runs on its own OS thread
+//! and frames travel over per-link channels.
+//!
+//! [`threaded_fabric`] wires up `m` endpoints with one `std::sync::mpsc`
+//! channel per directed link. Every frame carries a delivery timestamp
+//! computed from a one-way latency matrix (the same matrices
+//! `arboretum-mpc`'s `LatencyModel` produces) plus optional deterministic
+//! jitter; receivers sleep until that instant, so wall-clock behavior
+//! tracks the modeled link delays. Receives always use a timeout —
+//! a silent or crashed peer yields [`NetError::Timeout`] or
+//! [`NetError::Closed`], never a hang.
+
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::transport::{NetError, Transport, TransportMetrics};
+use crate::wire::{Message, HEADER_BYTES};
+
+/// Configuration for a threaded fabric.
+#[derive(Clone, Debug)]
+pub struct ThreadedConfig {
+    /// How long a `recv` waits before returning [`NetError::Timeout`].
+    pub timeout: Duration,
+    /// One-way link latencies in seconds, `latency[from][to]`; `None`
+    /// delivers as fast as the channels go.
+    pub latency: Option<Vec<Vec<f64>>>,
+    /// Uniform jitter as a fraction of each link's latency (`0.2` means
+    /// up to +20%), sampled deterministically per frame.
+    pub jitter: f64,
+    /// Seed for the per-endpoint jitter streams.
+    pub seed: u64,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_secs(5),
+            latency: None,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+struct Envelope {
+    frame: Vec<u8>,
+    deliver_at: Instant,
+}
+
+#[derive(Default)]
+struct SharedCounters {
+    per_party_payload: Vec<u64>,
+    per_party_rounds: Vec<u64>,
+    metrics: TransportMetrics,
+}
+
+/// One party's endpoint on a threaded fabric. Move it into that party's
+/// thread; it can only act as itself.
+pub struct ThreadedEndpoint {
+    id: usize,
+    m: usize,
+    senders: Vec<Option<Sender<Envelope>>>,
+    receivers: Vec<Option<Receiver<Envelope>>>,
+    timeout: Duration,
+    latency: Option<Arc<Vec<Vec<f64>>>>,
+    jitter: f64,
+    rng: StdRng,
+    shared: Arc<Mutex<SharedCounters>>,
+}
+
+/// Builds a fully connected threaded fabric for `m` parties.
+///
+/// Returns one endpoint per party; all endpoints share one metrics
+/// ledger, readable from any of them (or after joining the threads,
+/// from whichever endpoint the caller kept).
+///
+/// # Panics
+///
+/// Panics if `m` is zero or a provided latency matrix is smaller than
+/// `m × m`.
+pub fn threaded_fabric(m: usize, cfg: &ThreadedConfig) -> Vec<ThreadedEndpoint> {
+    assert!(m > 0, "need at least one party");
+    let latency = cfg.latency.clone().map(|l| {
+        assert!(
+            l.len() >= m && l.iter().all(|row| row.len() >= m),
+            "latency matrix smaller than {m}x{m}"
+        );
+        Arc::new(l)
+    });
+    let shared = Arc::new(Mutex::new(SharedCounters {
+        per_party_payload: vec![0; m],
+        per_party_rounds: vec![0; m],
+        metrics: TransportMetrics::default(),
+    }));
+    // channels[from][to] for every directed link.
+    let mut txs: Vec<Vec<Option<Sender<Envelope>>>> =
+        (0..m).map(|_| (0..m).map(|_| None).collect()).collect();
+    let mut rxs: Vec<Vec<Option<Receiver<Envelope>>>> =
+        (0..m).map(|_| (0..m).map(|_| None).collect()).collect();
+    for from in 0..m {
+        for to in 0..m {
+            if from == to {
+                continue;
+            }
+            let (tx, rx) = channel();
+            txs[from][to] = Some(tx);
+            // rxs is indexed by the receiving endpoint, then the peer.
+            rxs[to][from] = Some(rx);
+        }
+    }
+    txs.into_iter()
+        .zip(rxs)
+        .enumerate()
+        .map(|(id, (senders, receivers))| ThreadedEndpoint {
+            id,
+            m,
+            senders,
+            receivers,
+            timeout: cfg.timeout,
+            latency: latency.clone(),
+            jitter: cfg.jitter,
+            rng: StdRng::seed_from_u64(
+                cfg.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(id as u64 + 1)),
+            ),
+            shared: shared.clone(),
+        })
+        .collect()
+}
+
+/// A read-only handle onto a fabric's shared metrics ledger, usable
+/// after all endpoints have been moved into their threads.
+#[derive(Clone)]
+pub struct MetricsHandle(Arc<Mutex<SharedCounters>>);
+
+impl MetricsHandle {
+    /// A snapshot of the fabric-wide metrics.
+    pub fn snapshot(&self) -> TransportMetrics {
+        self.0.lock().map(|s| s.metrics.clone()).unwrap_or_default()
+    }
+}
+
+impl ThreadedEndpoint {
+    /// This endpoint's party id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// A handle onto the fabric-wide metrics ledger that outlives this
+    /// endpoint.
+    pub fn metrics_handle(&self) -> MetricsHandle {
+        MetricsHandle(self.shared.clone())
+    }
+
+    fn link_delay(&mut self, from: usize, to: usize) -> Duration {
+        let Some(l) = &self.latency else {
+            return Duration::ZERO;
+        };
+        let base = l[from][to];
+        let jittered = if self.jitter > 0.0 {
+            base * (1.0 + self.rng.gen_range(0.0..self.jitter))
+        } else {
+            base
+        };
+        Duration::from_secs_f64(jittered.max(0.0))
+    }
+}
+
+impl Transport for ThreadedEndpoint {
+    fn parties(&self) -> usize {
+        self.m
+    }
+
+    fn local_party(&self) -> Option<usize> {
+        Some(self.id)
+    }
+
+    fn send(&mut self, from: usize, to: usize, msg: &Message) -> Result<usize, NetError> {
+        if from != self.id {
+            return Err(NetError::BadAddress { party: from });
+        }
+        if to >= self.m || to == self.id {
+            return Err(NetError::BadAddress { party: to });
+        }
+        let delay = self.link_delay(from, to);
+        let frame = msg.encode_frame();
+        let payload = frame.len() - HEADER_BYTES;
+        let env = Envelope {
+            frame,
+            deliver_at: Instant::now() + delay,
+        };
+        let framed = (payload + HEADER_BYTES) as u64;
+        self.senders[to]
+            .as_ref()
+            .expect("non-self link exists")
+            .send(env)
+            .map_err(|_| NetError::Closed { peer: to })?;
+        let mut s = self
+            .shared
+            .lock()
+            .map_err(|_| NetError::Closed { peer: to })?;
+        s.per_party_payload[from] += payload as u64;
+        s.metrics.payload_bytes_total += payload as u64;
+        s.metrics.payload_bytes_max = s.metrics.payload_bytes_max.max(s.per_party_payload[from]);
+        s.metrics.frames += 1;
+        s.metrics.framed_bytes_total += framed;
+        Ok(payload)
+    }
+
+    fn recv(&mut self, at: usize, from: usize) -> Result<Message, NetError> {
+        if at != self.id {
+            return Err(NetError::BadAddress { party: at });
+        }
+        if from >= self.m || from == self.id {
+            return Err(NetError::BadAddress { party: from });
+        }
+        let rx = self.receivers[from].as_ref().expect("non-self link exists");
+        let env = match rx.recv_timeout(self.timeout) {
+            Ok(env) => env,
+            Err(RecvTimeoutError::Timeout) => return Err(NetError::Timeout { at, from }),
+            Err(RecvTimeoutError::Disconnected) => return Err(NetError::Closed { peer: from }),
+        };
+        // Latency injection: the frame is not readable before its
+        // modeled arrival time.
+        let now = Instant::now();
+        if env.deliver_at > now {
+            std::thread::sleep(env.deliver_at - now);
+        }
+        let (msg, _) = Message::decode_frame(&env.frame)?;
+        Ok(msg)
+    }
+
+    fn round(&mut self, at: usize) {
+        if at != self.id {
+            return;
+        }
+        if let Ok(mut s) = self.shared.lock() {
+            s.per_party_rounds[at] += 1;
+            s.metrics.rounds = s.metrics.rounds.max(s.per_party_rounds[at]);
+        }
+    }
+
+    fn metrics(&self) -> TransportMetrics {
+        self.shared
+            .lock()
+            .map(|s| s.metrics.clone())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arboretum_field::FGold;
+
+    #[test]
+    fn frames_cross_threads() {
+        let mut eps = threaded_fabric(3, &ThreadedConfig::default());
+        let mut e2 = eps.pop().unwrap();
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let h1 = std::thread::spawn(move || {
+            let msg = Message::FieldElems(vec![FGold::new(11), FGold::new(22)]);
+            e1.send(1, 0, &msg).unwrap();
+            e1.send(1, 2, &msg).unwrap();
+            e1.round(1);
+        });
+        let h2 = std::thread::spawn(move || e2.recv(2, 1).unwrap());
+        let got0 = e0.recv(0, 1).unwrap();
+        let got2 = h2.join().unwrap();
+        h1.join().unwrap();
+        assert_eq!(got0, got2);
+        assert_eq!(
+            got0,
+            Message::FieldElems(vec![FGold::new(11), FGold::new(22)])
+        );
+        let m = e0.metrics();
+        assert_eq!(m.frames, 2);
+        assert_eq!(m.payload_bytes_total, 32);
+        assert_eq!(m.rounds, 1);
+    }
+
+    #[test]
+    fn recv_times_out_instead_of_hanging() {
+        let mut eps = threaded_fabric(
+            2,
+            &ThreadedConfig {
+                timeout: Duration::from_millis(30),
+                ..ThreadedConfig::default()
+            },
+        );
+        let mut e0 = eps.remove(0);
+        let start = Instant::now();
+        assert_eq!(e0.recv(0, 1), Err(NetError::Timeout { at: 0, from: 1 }));
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn dropped_peer_reports_closed() {
+        let mut eps = threaded_fabric(2, &ThreadedConfig::default());
+        let e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        drop(e1);
+        assert_eq!(e0.recv(0, 1), Err(NetError::Closed { peer: 1 }));
+        assert!(matches!(
+            e0.send(0, 1, &Message::Sync { round: 0 }),
+            Err(NetError::Closed { peer: 1 })
+        ));
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let one_way = 0.05;
+        let cfg = ThreadedConfig {
+            latency: Some(vec![vec![one_way; 2]; 2]),
+            ..ThreadedConfig::default()
+        };
+        let mut eps = threaded_fabric(2, &cfg);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let h = std::thread::spawn(move || {
+            e1.send(1, 0, &Message::Sync { round: 7 }).unwrap();
+        });
+        let start = Instant::now();
+        let msg = e0.recv(0, 1).unwrap();
+        h.join().unwrap();
+        assert_eq!(msg, Message::Sync { round: 7 });
+        assert!(
+            start.elapsed() >= Duration::from_secs_f64(one_way * 0.8),
+            "delivery should respect the modeled one-way latency"
+        );
+    }
+
+    #[test]
+    fn endpoints_only_act_as_themselves() {
+        let mut eps = threaded_fabric(3, &ThreadedConfig::default());
+        let mut e0 = eps.remove(0);
+        assert!(matches!(
+            e0.send(1, 2, &Message::Sync { round: 0 }),
+            Err(NetError::BadAddress { party: 1 })
+        ));
+        assert!(matches!(
+            e0.recv(2, 0),
+            Err(NetError::BadAddress { party: 2 })
+        ));
+    }
+}

@@ -1,0 +1,91 @@
+//! Round-trip property tests for every wire message kind.
+
+use arboretum_crypto::group::{GroupElem, Scalar};
+use arboretum_field::FGold;
+use arboretum_net::wire::{Message, WireShare, HEADER_BYTES};
+use proptest::prelude::*;
+
+fn roundtrip(msg: &Message) {
+    let frame = msg.encode_frame();
+    assert_eq!(frame.len(), HEADER_BYTES + msg.payload_len());
+    let (back, used) = Message::decode_frame(&frame).expect("decode");
+    assert_eq!(used, frame.len());
+    assert_eq!(&back, msg);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn field_elems_round_trip(vals in prop::collection::vec(0u64..FGold::MODULUS, 0..40)) {
+        let msg = Message::FieldElems(vals.iter().map(|&v| FGold::new(v)).collect());
+        prop_assert_eq!(msg.payload_len(), vals.len() * 8);
+        roundtrip(&msg);
+    }
+
+    #[test]
+    fn shares_round_trip(raw in prop::collection::vec(0u64..FGold::MODULUS, 0..24), x0 in 1u64..1000) {
+        let msg = Message::Shares(
+            raw.iter()
+                .enumerate()
+                .map(|(i, &v)| WireShare { x: x0 + i as u64, y: FGold::new(v) })
+                .collect(),
+        );
+        roundtrip(&msg);
+    }
+
+    #[test]
+    fn ct_chunks_round_trip(
+        poly in 0u8..2,
+        limb in 0u8..4,
+        offset in 0u32..1_000_000,
+        coeffs in prop::collection::vec(any::<u64>(), 0..32),
+    ) {
+        roundtrip(&Message::CtChunk { poly, limb, offset, coeffs });
+    }
+
+    #[test]
+    fn commitments_round_trip(exps in prop::collection::vec(0u64..Scalar::MODULUS, 0..12)) {
+        let msg = Message::Commitments(
+            exps.iter().map(|&e| GroupElem::mul_base(Scalar::new(e))).collect(),
+        );
+        roundtrip(&msg);
+    }
+
+    #[test]
+    fn vsr_subshares_round_trip(
+        from in 1u64..64,
+        raw in prop::collection::vec(0u64..Scalar::MODULUS, 0..10),
+        exps in prop::collection::vec(0u64..Scalar::MODULUS, 0..6),
+    ) {
+        let msg = Message::VsrSubshares {
+            from,
+            shares: raw.iter().enumerate().map(|(i, &v)| (i as u64 + 1, Scalar::new(v))).collect(),
+            commitments: exps.iter().map(|&e| GroupElem::mul_base(Scalar::new(e))).collect(),
+        };
+        roundtrip(&msg);
+    }
+
+    #[test]
+    fn sync_round_trips(round in any::<u32>()) {
+        roundtrip(&Message::Sync { round });
+    }
+
+    #[test]
+    fn corrupted_frames_never_panic(
+        seed_vals in prop::collection::vec(0u64..FGold::MODULUS, 1..8),
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut frame = Message::FieldElems(
+            seed_vals.iter().map(|&v| FGold::new(v)).collect::<Vec<_>>(),
+        ).encode_frame();
+        let i = flip_at % frame.len();
+        frame[i] ^= 1 << flip_bit;
+        // Decoding corrupted bytes may fail, but must never panic, and a
+        // successful decode must re-encode to the same frame.
+        if let Ok((msg, used)) = Message::decode_frame(&frame) {
+            prop_assert_eq!(msg.encode_frame(), frame[..used].to_vec());
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal property-testing harness with the same surface the
+//! tests are written against: the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` header, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`, [`strategy::Strategy`] implementations for numeric
+//! ranges, `any::<T>()`, `prop::collection::vec`, and simple
+//! character-class string "regexes" (`"[abc]{lo,hi}"`).
+//!
+//! Differences from upstream: no shrinking, no persisted regression
+//! files (`*.proptest-regressions` are ignored), and case generation is
+//! seeded deterministically from the test name so failures reproduce.
+//! Each failing case prints its inputs before propagating the panic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// Builds the deterministic per-test RNG (FNV-1a over the test name).
+pub fn runner_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: rand::SampleUniform + Clone,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: rand::SampleUniform + Clone,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// The `any::<T>()` whole-domain strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Returns the whole-domain strategy for `T`.
+    pub fn any<T>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T> Strategy for Any<T>
+    where
+        rand::distributions::Standard: rand::distributions::Distribution<T>,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+
+    /// Lengths accepted by `prop::collection::vec`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty vec length range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for vectors of another strategy's values.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Builds a vector strategy (`prop::collection::vec`).
+    pub fn vec_strategy<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Character-class string strategy, from patterns of the shape
+    /// `[class]{lo,hi}` (the only regex form the workspace tests use).
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut StdRng) -> String {
+            let (chars, lo, hi) = parse_class_pattern(self);
+            let len = rng.gen_range(lo..=hi);
+            (0..len)
+                .map(|_| chars[rng.gen_range(0..chars.len())])
+                .collect()
+        }
+    }
+
+    /// Parses `[abc x-z]{lo,hi}` into (alphabet, lo, hi).
+    ///
+    /// Supports literal characters, `\`-escapes, and `a-z` ranges. A
+    /// missing repetition suffix means exactly one character.
+    fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        let mut it = pattern.chars().peekable();
+        assert_eq!(
+            it.next(),
+            Some('['),
+            "unsupported pattern {pattern:?}: expected [class]{{lo,hi}}"
+        );
+        let mut chars: Vec<char> = Vec::new();
+        loop {
+            let c = it
+                .next()
+                .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+            match c {
+                ']' => break,
+                '\\' => chars.push(
+                    it.next()
+                        .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+                ),
+                _ if it.peek() == Some(&'-') => {
+                    // Lookahead: `a-z` range unless `-` is last-in-class.
+                    let mut ahead = it.clone();
+                    ahead.next(); // the '-'
+                    match ahead.peek() {
+                        Some(&end) if end != ']' => {
+                            it.next();
+                            it.next();
+                            assert!(c <= end, "reversed range {c}-{end} in {pattern:?}");
+                            chars.extend(c..=end);
+                        }
+                        _ => chars.push(c),
+                    }
+                }
+                _ => chars.push(c),
+            }
+        }
+        assert!(!chars.is_empty(), "empty character class in {pattern:?}");
+        let rest: String = it.collect();
+        if rest.is_empty() {
+            return (chars, 1, 1);
+        }
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported repetition {rest:?} in {pattern:?}"));
+        let (lo, hi) = match inner.split_once(',') {
+            Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+            None => {
+                let n = inner.trim().parse().unwrap();
+                (n, n)
+            }
+        };
+        assert!(lo <= hi, "reversed repetition in {pattern:?}");
+        (chars, lo, hi)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use rand::SeedableRng;
+
+        #[test]
+        fn class_pattern_parses_escapes_and_ranges() {
+            let (chars, lo, hi) = parse_class_pattern("[a-c\\]x]{0,5}");
+            assert_eq!(lo, 0);
+            assert_eq!(hi, 5);
+            for c in ['a', 'b', 'c', ']', 'x'] {
+                assert!(chars.contains(&c), "missing {c}");
+            }
+        }
+
+        #[test]
+        fn string_strategy_respects_length_and_alphabet() {
+            let mut rng = StdRng::seed_from_u64(1);
+            let s = "[ab]{2,4}";
+            for _ in 0..200 {
+                let v = Strategy::sample(&s, &mut rng);
+                assert!((2..=4).contains(&v.len()), "{v:?}");
+                assert!(v.chars().all(|c| c == 'a' || c == 'b'), "{v:?}");
+            }
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection::vec`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        pub use crate::strategy::SizeRange;
+        use crate::strategy::{Strategy, VecStrategy};
+
+        /// Builds a strategy for vectors of `element` values with a
+        /// length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            crate::strategy::vec_strategy(element, size)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports for property tests.
+
+    pub use crate::prop;
+    pub use crate::strategy::{any, Any, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests over randomly generated inputs.
+///
+/// Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn prop(x in 0u64..100, v in prop::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $($(#[$meta:meta])+ fn $name:ident ($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::runner_rng(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    let inputs = format!(
+                        concat!("case ", "{}", $(": ", stringify!($arg), " = {:?}",)* ""),
+                        case $(, &$arg)*
+                    );
+                    // The body runs in a `Result`-returning closure so
+                    // upstream-style `return Ok(())` early exits compile.
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), ::std::string::String> {
+                                $body
+                                #[allow(unreachable_code)]
+                                Ok(())
+                            }
+                        )
+                    );
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(reason)) => {
+                            eprintln!("proptest {} failed on {}", stringify!($name), inputs);
+                            panic!("{reason}");
+                        }
+                        Err(panic) => {
+                            eprintln!("proptest {} failed on {}", stringify!($name), inputs);
+                            ::std::panic::resume_unwind(panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_and_vecs_generate_in_bounds(
+            x in 5u64..50,
+            y in -3i64..=3,
+            v in prop::collection::vec(any::<u8>(), 2..6),
+            s in "[xyz]{1,3}",
+        ) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((-3..=3).contains(&y));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert!(s.chars().all(|c| "xyz".contains(c)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(a in any::<u64>(), b in 0f64..1.0) {
+            prop_assert_ne!(a, a.wrapping_add(1));
+            prop_assert!((0.0..1.0).contains(&b));
+        }
+    }
+}
