@@ -1,0 +1,53 @@
+//! Serial-vs-parallel planner branch-and-bound benchmark.
+//!
+//! Writes `BENCH_planner.json` into the working directory. `--smoke`
+//! shrinks the category count; `--threads` overrides the benchmarked
+//! thread counts (comma-separated).
+
+use arboretum_bench::parbench::bench_planner;
+
+fn main() {
+    let mut categories = 1usize << 15;
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => categories = 1 << 12,
+            "--categories" => {
+                categories = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--categories needs a number");
+            }
+            "--threads" => {
+                let list = args.next().expect("--threads needs a value");
+                threads = list
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads takes numbers"))
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown flag {other}; use --smoke | --categories N | --threads A,B,C");
+                std::process::exit(2);
+            }
+        }
+    }
+    let bench = bench_planner(1 << 30, categories, &threads);
+    println!(
+        "Planner branch-and-bound: top1, N = 2^30, {} categories ({} serial candidates), \
+         {} host CPU(s)",
+        bench.categories, bench.serial_candidates, bench.host_cpus
+    );
+    println!(
+        "{:>8} {:>12} {:>13} {:>8} {:>10}",
+        "threads", "serial (s)", "parallel (s)", "speedup", "identical"
+    );
+    for p in &bench.points {
+        println!(
+            "{:>8} {:>12.4} {:>13.4} {:>7.2}x {:>10}",
+            p.threads, p.serial_secs, p.parallel_secs, p.speedup, p.identical
+        );
+    }
+    std::fs::write("BENCH_planner.json", bench.to_json()).expect("write BENCH_planner.json");
+    println!("wrote BENCH_planner.json");
+}

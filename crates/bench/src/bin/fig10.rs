@@ -1,8 +1,22 @@
 //! Regenerates Figure 10: scalability under aggregator limits.
+//!
+//! `--threads N` pins the planner's worker count (the chosen plans are
+//! identical at any thread count; only the runtimes change).
 
 use arboretum_bench::figures::fig10_points;
+use arboretum_par::ParConfig;
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let n: usize = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threads needs a number");
+            arboretum_par::configure_global(ParConfig::fixed(n));
+        }
+    }
     println!("Figure 10: top1 scalability, N = 2^17 .. 2^30, A in {{1000, 5000, inf}} core-hours");
     println!(
         "{:>7} {:>9} {:>12} {:>14} {:>14} {:>11}",

@@ -1,8 +1,24 @@
 //! Regenerates Figure 9: runtime of the query planner.
+//!
+//! `--threads N` pins the planner's worker count. The chosen plans are
+//! identical at any thread count; the runtime and the explored
+//! prefix/candidate counters vary, because how early the shared
+//! branch-and-bound bound tightens depends on task completion order.
 
 use arboretum_bench::figures::{fig9_rows, PAPER_N};
+use arboretum_par::ParConfig;
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let n: usize = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threads needs a number");
+            arboretum_par::configure_global(ParConfig::fixed(n));
+        }
+    }
     println!("Figure 9: planner runtime per query");
     println!(
         "{:<12} {:>12} {:>12} {:>12}",

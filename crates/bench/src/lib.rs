@@ -6,6 +6,8 @@
 //! * [`energy`] — the Figure 11 battery-energy model.
 //! * [`heterogeneity`] — the §7.5 geo-distribution and slow-device
 //!   experiments, run concretely on the MPC simulator.
+//! * [`parbench`] — serial-vs-parallel baselines for the aggregator
+//!   hot paths, emitting `BENCH_aggregation.json` / `BENCH_planner.json`.
 //!
 //! Criterion micro-benchmarks of the substrates (the inputs to the cost
 //! model calibration) live in `benches/`.
@@ -16,4 +18,5 @@
 pub mod energy;
 pub mod figures;
 pub mod heterogeneity;
+pub mod parbench;
 pub mod validation;

@@ -1,0 +1,259 @@
+//! Serial-vs-parallel benchmarks for the aggregator hot paths, with
+//! machine-readable JSON output (`BENCH_aggregation.json`,
+//! `BENCH_planner.json` at the repo root).
+//!
+//! Each benchmark runs the serial reference and the parallel kernel on
+//! the *same* workload and records wall times, the speedup, and —
+//! because speed without the determinism contract is worthless here —
+//! whether the two results were identical (bitwise for BGV aggregates,
+//! cost + [`Plan::signature`](arboretum_planner::plan::Plan::signature)
+//! for plans).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use arboretum_bgv::{
+    encode_coeffs, encrypt, keygen, par_sum, sum, BgvContext, BgvParams, Ciphertext,
+};
+use arboretum_par::ParConfig;
+use arboretum_planner::logical::extract;
+use arboretum_planner::search::{plan, PlannerConfig};
+use arboretum_queries::corpus::top1;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One thread-count measurement within a benchmark.
+#[derive(Clone, Debug)]
+pub struct ParPoint {
+    /// Worker threads used by the parallel run.
+    pub threads: usize,
+    /// Serial reference wall time (seconds).
+    pub serial_secs: f64,
+    /// Parallel wall time (seconds).
+    pub parallel_secs: f64,
+    /// `serial_secs / parallel_secs`.
+    pub speedup: f64,
+    /// Whether parallel and serial results were identical.
+    pub identical: bool,
+}
+
+/// The aggregation benchmark: ⊞-sum `n_ciphertexts` BGV ciphertexts
+/// at the aggregation preset's ring degree.
+#[derive(Clone, Debug)]
+pub struct AggBench {
+    /// Number of ciphertexts summed.
+    pub n_ciphertexts: usize,
+    /// BGV ring degree.
+    pub ring_degree: usize,
+    /// RNS primes in the ciphertext modulus.
+    pub rns_primes: usize,
+    /// CPUs available to the benchmarking process — speedups are
+    /// hardware-capped at this number no matter the thread count.
+    pub host_cpus: usize,
+    /// One measurement per benchmarked thread count.
+    pub points: Vec<ParPoint>,
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs the ciphertext-aggregation benchmark.
+///
+/// The workload is `n_ciphertexts` encryptions of small one-hot rows
+/// under the paper's aggregation preset (ring degree 4096); the serial
+/// side is the plain left fold, the parallel side the deterministic
+/// tree reduction, per thread count in `thread_counts`.
+pub fn bench_aggregation(n_ciphertexts: usize, thread_counts: &[usize]) -> AggBench {
+    let params = BgvParams::aggregation();
+    let ring_degree = params.n;
+    let rns_primes = params.moduli.len();
+    let ctx = Arc::new(BgvContext::new(params));
+    let mut rng = StdRng::seed_from_u64(0xa66);
+    let (_, pk) = keygen(&ctx, &mut rng);
+    // Encrypt a handful of distinct payloads and cycle them: the sum's
+    // cost depends only on ciphertext count and ring degree.
+    let distinct: Vec<Ciphertext> = (0..16u64)
+        .map(|i| {
+            let msg = encode_coeffs(&ctx, &[i % 7, i % 5, i % 3]).expect("encode");
+            encrypt(&ctx, &pk, &msg, &mut rng)
+        })
+        .collect();
+    let cts: Vec<Ciphertext> = (0..n_ciphertexts)
+        .map(|i| distinct[i % distinct.len()].clone())
+        .collect();
+
+    // Untimed warm-up: fault in the allocator's working set once, so
+    // the timed runs measure ⊞ throughput rather than first-touch page
+    // faults (which are very expensive under some hypervisors).
+    let _ = sum(&ctx, &cts);
+    let _ = par_sum(&ParConfig::serial().pool(), &ctx, cts.clone());
+
+    let start = Instant::now();
+    let serial = sum(&ctx, &cts).expect("non-empty workload");
+    let serial_secs = start.elapsed().as_secs_f64();
+
+    let points = thread_counts
+        .iter()
+        .map(|&threads| {
+            let pool = ParConfig::fixed(threads).pool();
+            // One untimed run per thread count faults in this pool's
+            // working set; the clones hand the kernel an owned workload
+            // and are bench plumbing, so both stay outside the timed
+            // region.
+            let _ = par_sum(&pool, &ctx, cts.clone());
+            let owned = cts.clone();
+            let start = Instant::now();
+            let parallel = par_sum(&pool, &ctx, owned).expect("non-empty workload");
+            let parallel_secs = start.elapsed().as_secs_f64();
+            ParPoint {
+                threads,
+                serial_secs,
+                parallel_secs,
+                speedup: serial_secs / parallel_secs.max(1e-12),
+                identical: parallel == serial,
+            }
+        })
+        .collect();
+    AggBench {
+        n_ciphertexts,
+        ring_degree,
+        rns_primes,
+        host_cpus: host_cpus(),
+        points,
+    }
+}
+
+/// The planner benchmark: branch-and-bound over the top1 corpus query.
+#[derive(Clone, Debug)]
+pub struct PlannerBench {
+    /// Population size `N`.
+    pub n: u64,
+    /// Category count of the benchmarked query.
+    pub categories: usize,
+    /// Full candidates scored by the serial search.
+    pub serial_candidates: u64,
+    /// CPUs available to the benchmarking process — speedups are
+    /// hardware-capped at this number no matter the thread count.
+    pub host_cpus: usize,
+    /// One measurement per benchmarked thread count.
+    pub points: Vec<ParPoint>,
+}
+
+/// Runs the planner branch-and-bound benchmark on `top1` with the
+/// given category count. `identical` in each point means the parallel
+/// search returned the same plan (goal cost and structural signature)
+/// as the serial search.
+pub fn bench_planner(n: u64, categories: usize, thread_counts: &[usize]) -> PlannerBench {
+    let q = top1(n, categories);
+    let lp = extract(&q.program(), &q.schema, q.certify).expect("corpus query extracts");
+    let mut cfg = PlannerConfig::paper_defaults(n);
+    cfg.par = ParConfig::serial();
+
+    let start = Instant::now();
+    let (serial_plan, serial_stats) = plan(&lp, &cfg).expect("corpus query plans");
+    let serial_secs = start.elapsed().as_secs_f64();
+
+    let points = thread_counts
+        .iter()
+        .map(|&threads| {
+            cfg.par = ParConfig::fixed(threads);
+            let start = Instant::now();
+            let (par_plan, _) = plan(&lp, &cfg).expect("corpus query plans");
+            let parallel_secs = start.elapsed().as_secs_f64();
+            let identical = par_plan.metrics.get(cfg.goal) == serial_plan.metrics.get(cfg.goal)
+                && par_plan.signature() == serial_plan.signature();
+            ParPoint {
+                threads,
+                serial_secs,
+                parallel_secs,
+                speedup: serial_secs / parallel_secs.max(1e-12),
+                identical,
+            }
+        })
+        .collect();
+    PlannerBench {
+        n,
+        categories,
+        serial_candidates: serial_stats.full_candidates,
+        host_cpus: host_cpus(),
+        points,
+    }
+}
+
+fn json_points(points: &[ParPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"threads\": {}, \"serial_secs\": {:.6}, \"parallel_secs\": {:.6}, \
+                 \"speedup\": {:.3}, \"identical\": {}}}",
+                p.threads, p.serial_secs, p.parallel_secs, p.speedup, p.identical
+            )
+        })
+        .collect();
+    rows.join(",\n")
+}
+
+impl AggBench {
+    /// Renders the benchmark as a JSON document (the schema of
+    /// `BENCH_aggregation.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"bgv_aggregation\",\n  \"n_ciphertexts\": {},\n  \
+             \"ring_degree\": {},\n  \"rns_primes\": {},\n  \"host_cpus\": {},\n  \
+             \"results\": [\n{}\n  ]\n}}\n",
+            self.n_ciphertexts,
+            self.ring_degree,
+            self.rns_primes,
+            self.host_cpus,
+            json_points(&self.points)
+        )
+    }
+}
+
+impl PlannerBench {
+    /// Renders the benchmark as a JSON document (the schema of
+    /// `BENCH_planner.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"planner_bnb\",\n  \"query\": \"top1\",\n  \"n\": {},\n  \
+             \"categories\": {},\n  \"serial_candidates\": {},\n  \"host_cpus\": {},\n  \
+             \"results\": [\n{}\n  ]\n}}\n",
+            self.n,
+            self.categories,
+            self.serial_candidates,
+            self.host_cpus,
+            json_points(&self.points)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_bench_smoke_is_deterministic() {
+        let b = bench_aggregation(96, &[2]);
+        assert_eq!(b.ring_degree, 4096);
+        assert!(b.points[0].identical, "parallel sum must match serial");
+        assert!(b.points[0].serial_secs > 0.0);
+    }
+
+    #[test]
+    fn planner_bench_smoke_returns_identical_plans() {
+        let b = bench_planner(1 << 26, 1 << 10, &[2]);
+        assert!(b.points[0].identical, "parallel plan must match serial");
+        assert!(b.serial_candidates >= 1);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let b = bench_aggregation(64, &[1]);
+        let j = b.to_json();
+        assert!(j.contains("\"bench\": \"bgv_aggregation\""));
+        assert!(j.contains("\"identical\": true"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

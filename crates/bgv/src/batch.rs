@@ -1,0 +1,120 @@
+//! Batched homomorphic aggregation over many ciphertexts.
+//!
+//! The aggregator's dominant workload is ⊞-summing one ciphertext per
+//! accepted participant (§4.3). These helpers provide the serial
+//! reference fold plus parallel equivalents built on
+//! [`arboretum_par`]'s deterministic kernels. Because BGV ⊞ is
+//! row-wise modular addition — associative and commutative — the
+//! parallel tree reduction is **bitwise identical** to the serial left
+//! fold, and identical across thread counts; noise growth is additive
+//! in the number of operands either way, so the noise budget does not
+//! depend on scheduling.
+
+use std::sync::Arc;
+
+use arboretum_par::{par_chunks, par_reduce, ThreadPool};
+
+use crate::poly::BgvContext;
+use crate::scheme::{add, Ciphertext};
+
+/// Serial reference: left fold of ⊞ over the ciphertexts. Returns
+/// `None` on empty input.
+pub fn sum(ctx: &BgvContext, cts: &[Ciphertext]) -> Option<Ciphertext> {
+    let mut it = cts.iter();
+    let first = it.next()?.clone();
+    Some(it.fold(first, |acc, ct| add(ctx, &acc, ct)))
+}
+
+/// Parallel ⊞-sum via the deterministic tree reduction. Bitwise
+/// identical to [`sum`] for any pool, including the zero-worker one.
+pub fn par_sum(
+    pool: &ThreadPool,
+    ctx: &Arc<BgvContext>,
+    cts: Vec<Ciphertext>,
+) -> Option<Ciphertext> {
+    let ctx = Arc::clone(ctx);
+    par_reduce(pool, cts, move |a, b| add(&ctx, a, b))
+}
+
+/// One round of a fanout-`k` sum tree: ciphertexts are grouped exactly
+/// like `slice::chunks(k)` and each group is folded left-to-right,
+/// yielding one partial sum per group, in group order — the parallel
+/// counterpart of the executor's `SumTree` round.
+///
+/// # Panics
+///
+/// Panics if `fanout == 0`.
+pub fn par_sum_chunks(
+    pool: &ThreadPool,
+    ctx: &Arc<BgvContext>,
+    cts: Vec<Ciphertext>,
+    fanout: usize,
+) -> Vec<Ciphertext> {
+    let ctx = Arc::clone(ctx);
+    par_chunks(pool, cts, fanout, move |_, chunk| {
+        let mut acc = chunk[0].clone();
+        for ct in &chunk[1..] {
+            acc = add(&ctx, &acc, ct);
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_coeffs;
+    use crate::params::BgvParams;
+    use crate::scheme::{decrypt, encrypt, keygen};
+    use arboretum_field::primes::{BGV_Q1, BGV_Q2, BGV_Q_ROOTS};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n_cts: usize) -> (Arc<BgvContext>, Vec<Ciphertext>, crate::scheme::SecretKey) {
+        let params = BgvParams::new(
+            64,
+            vec![BGV_Q1, BGV_Q2],
+            BGV_Q_ROOTS[..2].to_vec(),
+            1 << 30,
+            None,
+        )
+        .unwrap();
+        let ctx = Arc::new(BgvContext::new(params));
+        let mut rng = StdRng::seed_from_u64(42);
+        let (sk, pk) = keygen(&ctx, &mut rng);
+        let cts = (0..n_cts)
+            .map(|i| {
+                let pt = encode_coeffs(&ctx, &[(i % 7) as u64 + 1]).unwrap();
+                encrypt(&ctx, &pk, &pt, &mut rng)
+            })
+            .collect();
+        (ctx, cts, sk)
+    }
+
+    #[test]
+    fn par_sum_bitwise_identical_to_serial() {
+        let (ctx, cts, sk) = setup(100);
+        let serial = sum(&ctx, &cts).unwrap();
+        for threads in [0usize, 1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let par = par_sum(&pool, &ctx, cts.clone()).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+        let expected: u64 = (0..100).map(|i| (i % 7) as u64 + 1).sum();
+        let decoded = crate::encode::decode_coeffs(&decrypt(&ctx, &sk, &serial), 1);
+        assert_eq!(decoded[0], expected);
+    }
+
+    #[test]
+    fn par_sum_chunks_matches_serial_chunk_folds() {
+        let (ctx, cts, _) = setup(50);
+        let fanout = 8;
+        let serial: Vec<Ciphertext> = cts
+            .chunks(fanout)
+            .map(|chunk| sum(&ctx, chunk).unwrap())
+            .collect();
+        let pool = ThreadPool::new(4);
+        let par = par_sum_chunks(&pool, &ctx, cts, fanout);
+        assert_eq!(par, serial);
+    }
+}

@@ -17,10 +17,13 @@
 #![warn(missing_docs)]
 
 pub mod advanced;
+pub mod batch;
 pub mod encode;
 pub mod params;
 pub mod poly;
 pub mod scheme;
+
+pub use batch::{par_sum, par_sum_chunks, sum};
 
 pub use advanced::{
     apply_automorphism_poly, apply_galois, galois_keygen, mod_switch, AdvancedError, GaloisKey,

@@ -14,7 +14,13 @@
 //!                         exp-bytes | max-bytes               [default exp-secs]
 //!   --counts a,b,c,...    simulated per-category populations (run only)
 //!   --seed S              simulation seed                      [default 7]
+//!   --threads N           worker threads for the planner's parallel
+//!                         search and the aggregator's parallel phases
+//!                         (0 = run inline)     [default: all host CPUs]
 //! ```
+//!
+//! Plans, outputs, and metrics are identical at every `--threads`
+//! setting; the flag only changes wall-clock time.
 
 use std::process::ExitCode;
 
@@ -31,6 +37,7 @@ struct Options {
     goal: Goal,
     counts: Option<Vec<usize>>,
     seed: u64,
+    threads: Option<usize>,
 }
 
 impl Default for Options {
@@ -42,6 +49,7 @@ impl Default for Options {
             goal: Goal::ParticipantExpectedSecs,
             counts: None,
             seed: 7,
+            threads: None,
         }
     }
 }
@@ -77,6 +85,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.counts = Some(counts.map_err(|e| format!("bad counts: {e}"))?);
             }
             "--seed" => o.seed = next(args, &mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => {
+                o.threads = Some(next(args, &mut i)?.parse().map_err(|e| format!("{e}"))?);
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
@@ -151,6 +162,11 @@ fn main() -> ExitCode {
 }
 
 fn dispatch(cmd: &str, source: &str, opts: &Options) -> ExitCode {
+    if let Some(n) = opts.threads {
+        // Pins the process-wide default pool; the planner's search and
+        // the executor's parallel phases both resolve through it.
+        arboretum::par::configure_global(arboretum::par::ParConfig::fixed(n));
+    }
     let schema = DbSchema::one_hot(opts.participants, opts.categories);
     let certify_cfg = CertifyConfig {
         trust_declared_sensitivity: opts.trust_sens,

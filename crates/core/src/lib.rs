@@ -43,6 +43,7 @@ pub use arboretum_field as field;
 pub use arboretum_lang as lang;
 pub use arboretum_mpc as mpc;
 pub use arboretum_net as net;
+pub use arboretum_par as par;
 pub use arboretum_planner as planner;
 pub use arboretum_queries as queries;
 pub use arboretum_runtime as runtime;

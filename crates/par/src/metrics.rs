@@ -1,0 +1,68 @@
+//! Pool execution counters.
+//!
+//! The planner's cost model and `NetMeter` account for aggregator
+//! compute in core-seconds; the pool keeps the measured equivalent so
+//! concrete runs can be compared against the model: how many tasks
+//! ran, how long they took in aggregate (busy core-time, not
+//! wall-clock), and how work moved between queues.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Internal atomic counters, updated by workers and helping threads.
+#[derive(Debug, Default)]
+pub(crate) struct PoolMetrics {
+    /// Tasks executed to completion (including panicked ones).
+    pub tasks: AtomicU64,
+    /// Aggregate busy time across all tasks, in nanoseconds.
+    pub task_nanos: AtomicU64,
+    /// Tasks taken from another worker's deque.
+    pub steals: AtomicU64,
+    /// Tasks pushed through the shared injector (vs a worker's own deque).
+    pub injected: AtomicU64,
+    /// Tasks executed inline because the pool has no workers.
+    pub inline_tasks: AtomicU64,
+}
+
+impl PoolMetrics {
+    pub(crate) fn note_task(&self, elapsed: Duration) {
+        self.tasks.fetch_add(1, Ordering::Relaxed);
+        self.task_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of a pool's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks executed to completion.
+    pub tasks: u64,
+    /// Aggregate busy time across all tasks, in nanoseconds.
+    pub busy_nanos: u64,
+    /// Tasks taken from another worker's deque.
+    pub steals: u64,
+    /// Tasks pushed through the shared injector.
+    pub injected: u64,
+    /// Tasks executed inline (zero-worker pool).
+    pub inline_tasks: u64,
+}
+
+impl PoolStats {
+    /// Aggregate busy core-time in seconds — the measured counterpart
+    /// of the cost model's `agg_secs`.
+    pub fn busy_secs(&self) -> f64 {
+        self.busy_nanos as f64 / 1e9
+    }
+}
+
+impl PoolMetrics {
+    pub(crate) fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            tasks: self.tasks.load(Ordering::Relaxed),
+            busy_nanos: self.task_nanos.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            injected: self.injected.load(Ordering::Relaxed),
+            inline_tasks: self.inline_tasks.load(Ordering::Relaxed),
+        }
+    }
+}

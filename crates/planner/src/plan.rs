@@ -350,6 +350,30 @@ impl Plan {
         (self.total_committees * self.committee_size) as f64 / self.n as f64
     }
 
+    /// A structural identity for the plan: an FNV-1a hash over the
+    /// vignette sequence (ops, placements, schemes) plus `n` and the
+    /// category count. Two plans with the same signature chose the
+    /// same physical alternatives in the same order — the determinism
+    /// tests use this to check that thread count never changes *which*
+    /// plan the search returns, not just its cost.
+    pub fn signature(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&self.n.to_le_bytes());
+        eat(&self.categories.to_le_bytes());
+        for v in &self.vignettes {
+            eat(format!("{v:?}").as_bytes());
+        }
+        h
+    }
+
     /// Committee counts by role (for Figure 7).
     pub fn committees_by_role(&self) -> Vec<(CommitteeRole, u64)> {
         let mut keygen = 0;

@@ -10,8 +10,8 @@
 //! paper's benchmark-then-extrapolate methodology (§7.1).
 
 use arboretum_bgv::{
-    add as bgv_add, decrypt as bgv_decrypt, encode_coeffs, encrypt as bgv_encrypt,
-    keygen as bgv_keygen, BgvContext, BgvParams, Ciphertext,
+    decrypt as bgv_decrypt, encode_coeffs, encrypt as bgv_encrypt, keygen as bgv_keygen,
+    BgvContext, BgvParams, Ciphertext,
 };
 use arboretum_crypto::pedersen::PedersenParams;
 use arboretum_crypto::schnorr::{verify as schnorr_verify, Signature};
@@ -22,6 +22,7 @@ use arboretum_lang::ast::DbSchema;
 use arboretum_mpc::engine::MpcEngine;
 use arboretum_mpc::fixp::{inject_with_cost, FunctionalityCost};
 use arboretum_mpc::network::NetMetrics;
+use arboretum_par::{par_map_arc, ParConfig};
 use arboretum_planner::logical::LogicalPlan;
 use arboretum_planner::plan::{PhysOp, Plan};
 use arboretum_sortition::select::{select_committees, Registry};
@@ -34,6 +35,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::audit::{audit, challenges_per_device, StepLog};
 use crate::mpc_eval::{MVal, MechStyle, MpcEvaluator};
@@ -148,6 +150,12 @@ pub struct ExecutionConfig {
     pub budget: PrivacyCost,
     /// Step-audit miss probability target.
     pub p_max: f64,
+    /// Thread configuration for the aggregator's parallel phases
+    /// (batch proof verification and ciphertext aggregation). Outputs,
+    /// metrics, and the aggregate ciphertext are identical at every
+    /// thread count: all randomness is drawn in serial phases, and the
+    /// ⊞-reduction uses a fixed combine tree.
+    pub par: ParConfig,
 }
 
 impl Default for ExecutionConfig {
@@ -163,6 +171,7 @@ impl Default for ExecutionConfig {
                 delta: 1e-6,
             },
             p_max: 1e-9,
+            par: ParConfig::auto(),
         }
     }
 }
@@ -287,7 +296,8 @@ pub fn execute(
         None,
     )
     .map_err(|e| ExecError::Unsupported(e.to_string()))?;
-    let ctx = BgvContext::new(bgv_params);
+    let ctx = Arc::new(BgvContext::new(bgv_params));
+    let pool = cfg.par.pool();
     let (sk, pk) = bgv_keygen(&ctx, &mut rng);
     // Budget check before authorizing (§5.2).
     let mut ledger = BudgetLedger::new(cfg.budget);
@@ -346,91 +356,114 @@ pub fn execute(
         let span = (deployment.schema.hi - deployment.schema.lo).max(1) as u64;
         64 - span.leading_zeros()
     };
-    for (i, row) in deployment.db.iter().enumerate() {
-        let bits: Vec<u64> = row.iter().map(|&v| v as u64).collect();
-        let is_malicious = rng.gen::<f64>() < cfg.malicious_fraction;
-        if !one_hot_schema {
-            // Numerical inputs: per-field range proofs (§5.3's "1,000
-            // years old" defense).
-            let lo = deployment.schema.lo;
-            let effective_row: Vec<i64> = if is_malicious {
-                row.iter()
-                    .map(|&v| v + (deployment.schema.hi - lo + 1))
-                    .collect()
-            } else {
-                row.clone()
-            };
-            let proofs: Option<Vec<_>> = effective_row
-                .iter()
-                .map(|&v| {
-                    let shifted = v.checked_sub(lo).filter(|&s| s >= 0)? as u64;
-                    prove_range(&pp, shifted, range_bits, &mut rng).ok()
-                })
-                .collect();
-            let all_ok = proofs
-                .as_ref()
-                .is_some_and(|ps| ps.iter().all(|(p, _)| verify_range(&pp, p, range_bits)));
-            if !all_ok {
-                rejected += 1;
-                continue;
+    // Phase A (serial, draws randomness): every device builds its
+    // upload — the claimed values plus a proof of well-formedness.
+    // Malicious behavior and proof randomness are decided here so the
+    // RNG stream never depends on thread scheduling.
+    enum Upload {
+        OneHot {
+            bits: Vec<u64>,
+            proof: Option<OneHotProof>,
+        },
+        Ranges {
+            vals: Vec<u64>,
+            proofs: Option<Vec<arboretum_zkp::range::RangeProof>>,
+        },
+    }
+    let uploads: Vec<Upload> = deployment
+        .db
+        .iter()
+        .map(|row| {
+            let bits: Vec<u64> = row.iter().map(|&v| v as u64).collect();
+            let is_malicious = rng.gen::<f64>() < cfg.malicious_fraction;
+            if !one_hot_schema {
+                // Numerical inputs: per-field range proofs (§5.3's
+                // "1,000 years old" defense).
+                let lo = deployment.schema.lo;
+                let effective_row: Vec<i64> = if is_malicious {
+                    row.iter()
+                        .map(|&v| v + (deployment.schema.hi - lo + 1))
+                        .collect()
+                } else {
+                    row.clone()
+                };
+                let proofs: Option<Vec<_>> = effective_row
+                    .iter()
+                    .map(|&v| {
+                        let shifted = v.checked_sub(lo).filter(|&s| s >= 0)? as u64;
+                        prove_range(&pp, shifted, range_bits, &mut rng)
+                            .ok()
+                            .map(|(p, _)| p)
+                    })
+                    .collect();
+                let vals: Vec<u64> = effective_row.iter().map(|&v| v as u64).collect();
+                return Upload::Ranges { vals, proofs };
             }
-            if let Some(phi) = logical.certificate.sampling_rate {
-                if rng.gen::<f64>() >= phi {
-                    step_results.push(format!("input-{i}-binned-out").into_bytes());
-                    continue;
+            if is_malicious {
+                // Malformed input: claims two categories at once.
+                let mut bad = bits.clone();
+                if let Some(slot) = bad.iter_mut().find(|b| **b == 0) {
+                    *slot = 1;
                 }
+                // A malicious client cannot produce a valid proof for a
+                // non-one-hot vector; it sends a proof for different data.
+                let p = prove_one_hot(&pp, &bits, &mut rng).ok();
+                Upload::OneHot {
+                    bits: bad,
+                    proof: p.map(|mut p| {
+                        // Tamper so verification fails.
+                        p.bit_proofs.pop();
+                        p
+                    }),
+                }
+            } else {
+                let p = prove_one_hot(&pp, &bits, &mut rng).ok();
+                Upload::OneHot { bits, proof: p }
             }
-            let vals: Vec<u64> = effective_row.iter().map(|&v| v as u64).collect();
-            let msg =
-                encode_coeffs(&ctx, &vals).map_err(|e| ExecError::Unsupported(e.to_string()))?;
-            let ct = bgv_encrypt(&ctx, &pk, &msg, &mut rng);
-            step_results.push(format!("input-{i}-ok").into_bytes());
-            accepted.push(ct);
-            continue;
-        }
-        let (upload_bits, proof): (Vec<u64>, Option<OneHotProof>) = if is_malicious {
-            // Malformed input: claims two categories at once.
-            let mut bad = bits.clone();
-            if let Some(slot) = bad.iter_mut().find(|b| **b == 0) {
-                *slot = 1;
-            }
-            // A malicious client cannot produce a valid proof for a
-            // non-one-hot vector; it sends a proof for different data.
-            let p = prove_one_hot(&pp, &bits, &mut rng).ok();
-            (
-                bad,
-                p.map(|mut p| {
-                    // Tamper so verification fails.
-                    p.bit_proofs.pop();
-                    p
-                }),
-            )
-        } else {
-            let p = prove_one_hot(&pp, &bits, &mut rng).ok();
-            (bits, p)
-        };
-        let ok = proof.as_ref().is_some_and(|p| verify_one_hot(&pp, p));
+        })
+        .collect();
+
+    // Phase B (parallel, pure): the aggregator verifies every proof.
+    // Verification touches no RNG, so the verdict vector — and
+    // everything downstream — is identical at any thread count.
+    let uploads = Arc::new(uploads);
+    let verdicts: Vec<bool> = par_map_arc(&pool, &uploads, move |_, upload| match upload {
+        Upload::OneHot { proof, .. } => proof.as_ref().is_some_and(|p| verify_one_hot(&pp, p)),
+        Upload::Ranges { proofs, .. } => proofs
+            .as_ref()
+            .is_some_and(|ps| ps.iter().all(|p| verify_range(&pp, p, range_bits))),
+    });
+
+    // Phase C (serial, draws randomness): accepted devices go through
+    // the sampling decision (§6's secrecy of the sample) and encrypt.
+    for (i, (upload, ok)) in uploads.iter().zip(&verdicts).enumerate() {
         if !ok {
             rejected += 1;
             continue;
         }
-        // Secrecy of the sample (§6): each participant's upload lands in
-        // a random bin; only the committee's secret window is decrypted.
-        // The simulation applies the equivalent inclusion decision here.
         if let Some(phi) = logical.certificate.sampling_rate {
             if rng.gen::<f64>() >= phi {
                 step_results.push(format!("input-{i}-binned-out").into_bytes());
                 continue;
             }
         }
-        let msg =
-            encode_coeffs(&ctx, &upload_bits).map_err(|e| ExecError::Unsupported(e.to_string()))?;
+        let vals = match upload {
+            Upload::OneHot { bits, .. } => bits,
+            Upload::Ranges { vals, .. } => vals,
+        };
+        let msg = encode_coeffs(&ctx, vals).map_err(|e| ExecError::Unsupported(e.to_string()))?;
         let ct = bgv_encrypt(&ctx, &pk, &msg, &mut rng);
         step_results.push(format!("input-{i}-ok").into_bytes());
         accepted.push(ct);
     }
 
     // ---- Aggregation vignette. ----
+    //
+    // Both paths run on the pool through the deterministic batch
+    // kernels: BGV ⊞ is associative row-wise modular addition, so the
+    // parallel reductions are bitwise identical to the serial folds
+    // they replace (see `arboretum_bgv::batch`).
+    let accepted_count = accepted.len();
     let uses_tree = plan
         .vignettes
         .iter()
@@ -445,40 +478,20 @@ pub fn execute(
                 _ => None,
             })
             .expect("checked above");
-        let mut partials: Vec<Ciphertext> = accepted
-            .chunks(fanout.max(2))
-            .map(|chunk| {
-                let mut acc = chunk[0].clone();
-                for ct in &chunk[1..] {
-                    acc = bgv_add(&ctx, &acc, ct);
-                }
-                acc
-            })
-            .collect();
+        if accepted.is_empty() {
+            return Err(ExecError::Unsupported("no accepted inputs".into()));
+        }
+        let mut partials = arboretum_bgv::par_sum_chunks(&pool, &ctx, accepted, fanout.max(2));
         step_results.push(b"sum-tree-level-0".to_vec());
         while partials.len() > 1 {
-            partials = partials
-                .chunks(fanout.max(2))
-                .map(|chunk| {
-                    let mut acc = chunk[0].clone();
-                    for ct in &chunk[1..] {
-                        acc = bgv_add(&ctx, &acc, ct);
-                    }
-                    acc
-                })
-                .collect();
+            partials = arboretum_bgv::par_sum_chunks(&pool, &ctx, partials, fanout.max(2));
         }
         partials.remove(0)
     } else {
-        let mut acc = accepted
-            .first()
-            .cloned()
+        let total = arboretum_bgv::par_sum(&pool, &ctx, accepted)
             .ok_or_else(|| ExecError::Unsupported("no accepted inputs".into()))?;
-        for ct in &accepted[1..] {
-            acc = bgv_add(&ctx, &acc, ct);
-        }
         step_results.push(b"aggregator-sum".to_vec());
-        acc
+        total
     };
 
     // ---- VSR: key handoff keygen → decryption committee (§5.2). ----
@@ -588,7 +601,7 @@ pub fn execute(
         outputs,
         certificate: cert,
         rejected_inputs: rejected,
-        accepted_inputs: accepted.len(),
+        accepted_inputs: accepted_count,
         mpc_metrics: metrics,
         audit_ok,
         mpc_elapsed_estimate_secs,

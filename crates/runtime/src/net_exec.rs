@@ -211,6 +211,36 @@ where
     }
 }
 
+/// Runs independent committee tasks concurrently on a work-stealing
+/// pool (§5.4: distinct vignettes' committees have no data
+/// dependencies and can proceed at the same time).
+///
+/// Task `k` runs a full [`run_with_failover`] with its own dealer and
+/// party seeds, derived from `k` alone — never from scheduling — so
+/// each task's outputs, failover path, and transport metrics are
+/// identical whether the tasks run sequentially, on 2 threads, or on
+/// 8. Results come back in task order. A zero-worker pool runs the
+/// tasks inline sequentially through the same code path.
+pub fn run_concurrent<F>(
+    pool: &arboretum_par::ThreadPool,
+    cfg: &NetExecConfig,
+    tasks: Vec<F>,
+) -> Vec<Result<NetExecReport, NetExecError>>
+where
+    F: Fn(&mut NetParty) -> Result<Vec<FGold>, MpcError> + Send + Sync + 'static,
+{
+    let cfg = cfg.clone();
+    arboretum_par::par_map(pool, tasks, move |k, task| {
+        let salt = (k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let task_cfg = NetExecConfig {
+            dealer_seed: cfg.dealer_seed ^ salt,
+            party_seed: cfg.party_seed ^ salt,
+            ..cfg.clone()
+        };
+        run_with_failover(&task_cfg, |p: &mut NetParty| task(p))
+    })
+}
+
 /// Runs one committee attempt: `m` threads, one fabric, one dealer.
 fn run_committee<F>(
     cfg: &NetExecConfig,
@@ -272,6 +302,33 @@ mod tests {
         assert_eq!(report.committee, 0);
         assert!(report.failures.is_empty());
         assert!(report.metrics.payload_bytes_total > 0);
+    }
+
+    #[test]
+    fn concurrent_tasks_match_sequential_execution() {
+        let cfg = NetExecConfig::default();
+        let tasks: Vec<_> = (0..3)
+            .map(|k| {
+                move |p: &mut NetParty| -> Result<Vec<FGold>, MpcError> {
+                    let a = p.input(0, FGold::new(10 + k))?;
+                    let b = p.input(1, FGold::new(1))?;
+                    let s = p.add(&a, &b);
+                    p.open_batch(&[&s])
+                }
+            })
+            .collect();
+        let serial_pool = arboretum_par::ThreadPool::new(0);
+        let reference = run_concurrent(&serial_pool, &cfg, tasks.clone());
+        let pool = arboretum_par::ThreadPool::new(4);
+        let concurrent = run_concurrent(&pool, &cfg, tasks);
+        assert_eq!(reference.len(), 3);
+        for (k, (a, b)) in reference.iter().zip(&concurrent).enumerate() {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.outputs, vec![FGold::new(11 + k as u64)]);
+            assert_eq!(a.outputs, b.outputs, "task {k}");
+            assert_eq!(a.committee, b.committee, "task {k}");
+            assert_eq!(a.metrics, b.metrics, "task {k}");
+        }
     }
 
     #[test]

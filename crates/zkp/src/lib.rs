@@ -11,11 +11,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cost;
 pub mod onehot;
 pub mod range;
 pub mod sigma;
 
+pub use batch::{par_verify_one_hot, par_verify_ranges};
 pub use cost::SnarkCostModel;
 pub use onehot::{prove_one_hot, verify_one_hot, OneHotError, OneHotProof};
 pub use range::{prove_range, verify_range, RangeError, RangeProof};
