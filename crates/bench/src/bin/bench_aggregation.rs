@@ -1,14 +1,28 @@
 //! Serial-vs-parallel BGV aggregation benchmark.
 //!
-//! Writes `BENCH_aggregation.json` into the working directory.
-//! `--smoke` shrinks the workload to finish in seconds; `--threads`
-//! overrides the benchmarked thread counts (comma-separated).
+//! Writes `BENCH_aggregation.json` into the working directory, one row
+//! per (shard count, thread count) pair. `--smoke` shrinks the workload
+//! to finish in seconds; `--threads` and `--shards` override the
+//! benchmarked axes (comma-separated).
 
 use arboretum_bench::parbench::bench_aggregation;
+
+fn parse_list(flag: &str, value: Option<String>) -> Vec<usize> {
+    value
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} takes numbers"))
+        })
+        .collect()
+}
 
 fn main() {
     let mut n_ciphertexts = 16_384usize;
     let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut shards: Vec<usize> = vec![1, 2, 4, 8];
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -19,32 +33,30 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--ciphertexts needs a number");
             }
-            "--threads" => {
-                let list = args.next().expect("--threads needs a value");
-                threads = list
-                    .split(',')
-                    .map(|t| t.trim().parse().expect("--threads takes numbers"))
-                    .collect();
-            }
+            "--threads" => threads = parse_list("--threads", args.next()),
+            "--shards" => shards = parse_list("--shards", args.next()),
             other => {
-                eprintln!("unknown flag {other}; use --smoke | --ciphertexts N | --threads A,B,C");
+                eprintln!(
+                    "unknown flag {other}; use --smoke | --ciphertexts N | \
+                     --threads A,B,C | --shards A,B,C"
+                );
                 std::process::exit(2);
             }
         }
     }
-    let bench = bench_aggregation(n_ciphertexts, &threads);
+    let bench = bench_aggregation(n_ciphertexts, &threads, &shards);
     println!(
         "BGV aggregation: {} ciphertexts, ring degree {}, {} host CPU(s)",
         bench.n_ciphertexts, bench.ring_degree, bench.host_cpus
     );
     println!(
-        "{:>8} {:>12} {:>13} {:>8} {:>10}",
-        "threads", "serial (s)", "parallel (s)", "speedup", "identical"
+        "{:>8} {:>8} {:>12} {:>13} {:>8} {:>10}",
+        "shards", "threads", "serial (s)", "parallel (s)", "speedup", "identical"
     );
     for p in &bench.points {
         println!(
-            "{:>8} {:>12.4} {:>13.4} {:>7.2}x {:>10}",
-            p.threads, p.serial_secs, p.parallel_secs, p.speedup, p.identical
+            "{:>8} {:>8} {:>12.4} {:>13.4} {:>7.2}x {:>10}",
+            p.shards, p.threads, p.serial_secs, p.parallel_secs, p.speedup, p.identical
         );
     }
     std::fs::write("BENCH_aggregation.json", bench.to_json())

@@ -13,20 +13,24 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use arboretum_bgv::{
-    encode_coeffs, encrypt, keygen, par_sum, sum, BgvContext, BgvParams, Ciphertext,
+    encode_coeffs, encrypt, keygen, par_sum, par_sum_sharded, sum, BgvContext, BgvParams,
+    Ciphertext,
 };
-use arboretum_par::ParConfig;
+use arboretum_par::{ParConfig, ShardedPool};
 use arboretum_planner::logical::extract;
 use arboretum_planner::search::{plan, PlannerConfig};
 use arboretum_queries::corpus::top1;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// One thread-count measurement within a benchmark.
+/// One (shard count, thread count) measurement within a benchmark.
 #[derive(Clone, Debug)]
 pub struct ParPoint {
     /// Worker threads used by the parallel run.
     pub threads: usize,
+    /// Aggregator shards the workload was partitioned across (1 for
+    /// benchmarks without a shard axis, e.g. the planner search).
+    pub shards: usize,
     /// Serial reference wall time (seconds).
     pub serial_secs: f64,
     /// Parallel wall time (seconds).
@@ -62,9 +66,16 @@ fn host_cpus() -> usize {
 ///
 /// The workload is `n_ciphertexts` encryptions of small one-hot rows
 /// under the paper's aggregation preset (ring degree 4096); the serial
-/// side is the plain left fold, the parallel side the deterministic
-/// tree reduction, per thread count in `thread_counts`.
-pub fn bench_aggregation(n_ciphertexts: usize, thread_counts: &[usize]) -> AggBench {
+/// side is the plain left fold, the parallel side the sharded
+/// deterministic tree reduction, one point per (shard count, thread
+/// count) pair. `shards = 1` on a single pool reproduces the unsharded
+/// kernel; every point's `identical` asserts bitwise equality with the
+/// serial fold.
+pub fn bench_aggregation(
+    n_ciphertexts: usize,
+    thread_counts: &[usize],
+    shard_counts: &[usize],
+) -> AggBench {
     let params = BgvParams::aggregation();
     let ring_degree = params.n;
     let rns_primes = params.moduli.len();
@@ -93,28 +104,29 @@ pub fn bench_aggregation(n_ciphertexts: usize, thread_counts: &[usize]) -> AggBe
     let serial = sum(&ctx, &cts).expect("non-empty workload");
     let serial_secs = start.elapsed().as_secs_f64();
 
-    let points = thread_counts
-        .iter()
-        .map(|&threads| {
-            let pool = ParConfig::fixed(threads).pool();
-            // One untimed run per thread count faults in this pool's
+    let mut points = Vec::with_capacity(shard_counts.len() * thread_counts.len());
+    for &shards in shard_counts {
+        for &threads in thread_counts {
+            let set = ShardedPool::new(threads, shards);
+            // One untimed run per point faults in this pool set's
             // working set; the clones hand the kernel an owned workload
             // and are bench plumbing, so both stay outside the timed
             // region.
-            let _ = par_sum(&pool, &ctx, cts.clone());
+            let _ = par_sum_sharded(&set, &ctx, cts.clone());
             let owned = cts.clone();
             let start = Instant::now();
-            let parallel = par_sum(&pool, &ctx, owned).expect("non-empty workload");
+            let parallel = par_sum_sharded(&set, &ctx, owned).expect("non-empty workload");
             let parallel_secs = start.elapsed().as_secs_f64();
-            ParPoint {
+            points.push(ParPoint {
                 threads,
+                shards,
                 serial_secs,
                 parallel_secs,
                 speedup: serial_secs / parallel_secs.max(1e-12),
                 identical: parallel == serial,
-            }
-        })
-        .collect();
+            });
+        }
+    }
     AggBench {
         n_ciphertexts,
         ring_degree,
@@ -165,6 +177,7 @@ pub fn bench_planner(n: u64, categories: usize, thread_counts: &[usize]) -> Plan
                 && par_plan.signature() == serial_plan.signature();
             ParPoint {
                 threads,
+                shards: 1,
                 serial_secs,
                 parallel_secs,
                 speedup: serial_secs / parallel_secs.max(1e-12),
@@ -186,9 +199,9 @@ fn json_points(points: &[ParPoint]) -> String {
         .iter()
         .map(|p| {
             format!(
-                "    {{\"threads\": {}, \"serial_secs\": {:.6}, \"parallel_secs\": {:.6}, \
-                 \"speedup\": {:.3}, \"identical\": {}}}",
-                p.threads, p.serial_secs, p.parallel_secs, p.speedup, p.identical
+                "    {{\"threads\": {}, \"shards\": {}, \"serial_secs\": {:.6}, \
+                 \"parallel_secs\": {:.6}, \"speedup\": {:.3}, \"identical\": {}}}",
+                p.threads, p.shards, p.serial_secs, p.parallel_secs, p.speedup, p.identical
             )
         })
         .collect();
@@ -235,10 +248,20 @@ mod tests {
 
     #[test]
     fn aggregation_bench_smoke_is_deterministic() {
-        let b = bench_aggregation(96, &[2]);
+        // 97 ciphertexts: a remainder at both shard counts.
+        let b = bench_aggregation(97, &[2], &[1, 3]);
         assert_eq!(b.ring_degree, 4096);
-        assert!(b.points[0].identical, "parallel sum must match serial");
-        assert!(b.points[0].serial_secs > 0.0);
+        assert_eq!(b.points.len(), 2);
+        for p in &b.points {
+            assert!(
+                p.identical,
+                "sharded sum must match serial at shards={}",
+                p.shards
+            );
+            assert!(p.serial_secs > 0.0);
+        }
+        assert_eq!(b.points[0].shards, 1);
+        assert_eq!(b.points[1].shards, 3);
     }
 
     #[test]
@@ -250,9 +273,10 @@ mod tests {
 
     #[test]
     fn json_is_well_formed_enough() {
-        let b = bench_aggregation(64, &[1]);
+        let b = bench_aggregation(64, &[1], &[2]);
         let j = b.to_json();
         assert!(j.contains("\"bench\": \"bgv_aggregation\""));
+        assert!(j.contains("\"shards\": 2"));
         assert!(j.contains("\"identical\": true"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }

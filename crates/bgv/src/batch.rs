@@ -12,7 +12,9 @@
 
 use std::sync::Arc;
 
-use arboretum_par::{par_chunks, par_reduce, ThreadPool};
+use arboretum_par::{
+    par_chunks, par_chunks_sharded, par_reduce, par_reduce_sharded, ShardedPool, ThreadPool,
+};
 
 use crate::poly::BgvContext;
 use crate::scheme::{add, Ciphertext};
@@ -52,6 +54,44 @@ pub fn par_sum_chunks(
 ) -> Vec<Ciphertext> {
     let ctx = Arc::clone(ctx);
     par_chunks(pool, cts, fanout, move |_, chunk| {
+        let mut acc = chunk[0].clone();
+        for ct in &chunk[1..] {
+            acc = add(&ctx, &acc, ct);
+        }
+        acc
+    })
+}
+
+/// Sharded ⊞-sum: each shard of the device set folds its contiguous
+/// slice on its own pinned pool, then the shard partials merge in
+/// shard-index order. Because ⊞ is associative row-wise modular
+/// addition, the result is **bitwise identical** to [`sum`] and
+/// [`par_sum`] for every shard count and thread count.
+pub fn par_sum_sharded(
+    set: &ShardedPool,
+    ctx: &Arc<BgvContext>,
+    cts: Vec<Ciphertext>,
+) -> Option<Ciphertext> {
+    let ctx = Arc::clone(ctx);
+    par_reduce_sharded(set, cts, move |a, b| add(&ctx, a, b))
+}
+
+/// Sharded round of a fanout-`k` sum tree: groups are exactly
+/// `slice::chunks(k)`'s groups, the groups are partitioned across
+/// shards, and results come back in group order — bitwise identical
+/// to [`par_sum_chunks`] at any shard count.
+///
+/// # Panics
+///
+/// Panics if `fanout == 0`.
+pub fn par_sum_chunks_sharded(
+    set: &ShardedPool,
+    ctx: &Arc<BgvContext>,
+    cts: Vec<Ciphertext>,
+    fanout: usize,
+) -> Vec<Ciphertext> {
+    let ctx = Arc::clone(ctx);
+    par_chunks_sharded(set, cts, fanout, move |_, chunk| {
         let mut acc = chunk[0].clone();
         for ct in &chunk[1..] {
             acc = add(&ctx, &acc, ct);
@@ -116,5 +156,33 @@ mod tests {
         let pool = ThreadPool::new(4);
         let par = par_sum_chunks(&pool, &ctx, cts, fanout);
         assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn sharded_sum_bitwise_identical_across_shard_counts() {
+        let (ctx, cts, _) = setup(67);
+        let serial = sum(&ctx, &cts).unwrap();
+        for shards in [1usize, 2, 3, 8] {
+            for threads in [0usize, 2] {
+                let set = ShardedPool::new(threads, shards);
+                let got = par_sum_sharded(&set, &ctx, cts.clone()).unwrap();
+                assert_eq!(got, serial, "shards={shards} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_sum_chunks_matches_unsharded() {
+        let (ctx, cts, _) = setup(41);
+        let fanout = 4;
+        let serial: Vec<Ciphertext> = cts
+            .chunks(fanout)
+            .map(|chunk| sum(&ctx, chunk).unwrap())
+            .collect();
+        for shards in [1usize, 3, 8] {
+            let set = ShardedPool::new(2, shards);
+            let got = par_sum_chunks_sharded(&set, &ctx, cts.clone(), fanout);
+            assert_eq!(got, serial, "shards={shards}");
+        }
     }
 }

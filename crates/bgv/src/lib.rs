@@ -23,7 +23,7 @@ pub mod params;
 pub mod poly;
 pub mod scheme;
 
-pub use batch::{par_sum, par_sum_chunks, sum};
+pub use batch::{par_sum, par_sum_chunks, par_sum_chunks_sharded, par_sum_sharded, sum};
 
 pub use advanced::{
     apply_automorphism_poly, apply_galois, galois_keygen, mod_switch, AdvancedError, GaloisKey,

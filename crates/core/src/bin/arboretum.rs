@@ -17,10 +17,13 @@
 //!   --threads N           worker threads for the planner's parallel
 //!                         search and the aggregator's parallel phases
 //!                         (0 = run inline)     [default: all host CPUs]
+//!   --shards K            independent aggregator pools, each pinned to
+//!                         a contiguous device shard       [default: 1]
 //! ```
 //!
-//! Plans, outputs, and metrics are identical at every `--threads`
-//! setting; the flag only changes wall-clock time.
+//! Plans, outputs, and metrics are identical at every `--threads` and
+//! `--shards` setting; the flags only change wall-clock time and which
+//! pool counters accumulate the work.
 
 use std::process::ExitCode;
 
@@ -38,6 +41,7 @@ struct Options {
     counts: Option<Vec<usize>>,
     seed: u64,
     threads: Option<usize>,
+    shards: Option<usize>,
 }
 
 impl Default for Options {
@@ -50,6 +54,7 @@ impl Default for Options {
             counts: None,
             seed: 7,
             threads: None,
+            shards: None,
         }
     }
 }
@@ -87,6 +92,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--seed" => o.seed = next(args, &mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--threads" => {
                 o.threads = Some(next(args, &mut i)?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--shards" => {
+                o.shards = Some(next(args, &mut i)?.parse().map_err(|e| format!("{e}"))?);
             }
             other => return Err(format!("unknown option {other:?}")),
         }
@@ -162,10 +170,13 @@ fn main() -> ExitCode {
 }
 
 fn dispatch(cmd: &str, source: &str, opts: &Options) -> ExitCode {
-    if let Some(n) = opts.threads {
-        // Pins the process-wide default pool; the planner's search and
-        // the executor's parallel phases both resolve through it.
-        arboretum::par::configure_global(arboretum::par::ParConfig::fixed(n));
+    if opts.threads.is_some() || opts.shards.is_some() {
+        // Pins the process-wide defaults; the planner's search and the
+        // executor's sharded phases both resolve through them.
+        arboretum::par::configure_global(arboretum::par::ParConfig {
+            threads: opts.threads,
+            shards: opts.shards,
+        });
     }
     let schema = DbSchema::one_hot(opts.participants, opts.categories);
     let certify_cfg = CertifyConfig {
@@ -269,6 +280,21 @@ fn dispatch(cmd: &str, source: &str, opts: &Options) -> ExitCode {
             );
             println!("  audit ok: {}", report.audit_ok);
             println!("  budget remaining: {:.4}", report.budget_after.epsilon);
+            let cal = report.pool_calibration();
+            println!(
+                "  pool calibration ({} shard(s)): verify {:.4} core-s / {} proofs{}, aggregate {:.4} core-s / {} adds{}",
+                report.verify_pool.len(),
+                cal.verify_busy_secs(),
+                cal.verify_ops,
+                cal.verify_secs_per_op()
+                    .map(|s| format!(" = {s:.2e} s/op"))
+                    .unwrap_or_default(),
+                cal.aggregate_busy_secs(),
+                cal.aggregate_ops,
+                cal.add_secs_per_op()
+                    .map(|s| format!(" = {s:.2e} s/op"))
+                    .unwrap_or_default(),
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -40,6 +40,16 @@
 //! `std::thread::available_parallelism`, a CLI `--threads N` overrides
 //! it process-wide via [`configure_global`], and tests pin explicit
 //! counts with [`ParConfig::fixed`].
+//!
+//! # Sharded execution
+//!
+//! [`shard`] lifts the contract one level up, to the paper's
+//! 1,000-core aggregator: a [`ShardedPool`] owns K pools pinned to
+//! disjoint, index-contiguous device shards (a [`ShardPlan`], pure
+//! function of `(n, K)`), and [`par_reduce_sharded`] /
+//! [`par_map_arc_sharded`] / [`par_chunks_sharded`] recombine shard
+//! partials with a merge fixed in shard-index order — see the
+//! shard-merge determinism contract in [`shard`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,8 +58,12 @@ pub mod config;
 pub mod metrics;
 pub mod ops;
 pub mod pool;
+pub mod shard;
 
 pub use config::{configure_global, global, ParConfig};
 pub use metrics::PoolStats;
 pub use ops::{par_chunks, par_map, par_map_arc, par_reduce};
 pub use pool::{Scope, ScopePanic, ThreadPool};
+pub use shard::{
+    par_chunks_sharded, par_map_arc_sharded, par_reduce_sharded, ShardPlan, ShardedPool,
+};

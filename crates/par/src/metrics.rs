@@ -53,6 +53,19 @@ impl PoolStats {
     pub fn busy_secs(&self) -> f64 {
         self.busy_nanos as f64 / 1e9
     }
+
+    /// The counter delta since an earlier snapshot of the same pool:
+    /// what ran between the two reads. Saturating, so a snapshot from
+    /// a different pool cannot underflow.
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            busy_nanos: self.busy_nanos.saturating_sub(earlier.busy_nanos),
+            steals: self.steals.saturating_sub(earlier.steals),
+            injected: self.injected.saturating_sub(earlier.injected),
+            inline_tasks: self.inline_tasks.saturating_sub(earlier.inline_tasks),
+        }
+    }
 }
 
 impl PoolMetrics {

@@ -16,7 +16,7 @@ const TARGET_TASKS: usize = 256;
 
 /// The chunk length used to split `n` items into about
 /// [`TARGET_TASKS`] index-contiguous tasks. Pure function of `n`.
-fn chunk_len(n: usize) -> usize {
+pub(crate) fn chunk_len(n: usize) -> usize {
     n.div_ceil(TARGET_TASKS).max(1)
 }
 

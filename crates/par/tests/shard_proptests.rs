@@ -1,0 +1,103 @@
+//! Property-based tests for the shard-merge determinism contract:
+//! [`ShardPlan`] partitions `0..n` exactly, the K-leaf merge combines
+//! shard partials in shard-index lexicographic order, and the sharded
+//! reduce reproduces the serial left fold — bitwise for an associative
+//! op at any K, and bitwise across thread counts at fixed K even for a
+//! deliberately non-associative op (floating-point addition).
+
+use arboretum_par::{par_reduce_sharded, ShardPlan, ShardedPool};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shard_plan_partitions_exactly(n in 0usize..500, k in 1usize..12) {
+        let plan = ShardPlan::new(n, k);
+        prop_assert_eq!(plan.len(), n);
+        prop_assert_eq!(plan.shard_count(), k);
+        // Ranges are contiguous, ordered, disjoint, and cover 0..n.
+        let mut next = 0usize;
+        for r in plan.ranges() {
+            prop_assert_eq!(r.start, next);
+            next = r.end;
+            // Balanced: every shard holds ⌊n/k⌋ or ⌈n/k⌉ items.
+            let len = r.end - r.start;
+            prop_assert!(len == n / k || len == n / k + 1, "shard len {}", len);
+        }
+        prop_assert_eq!(next, n);
+        // shard_of agrees with the ranges for every index.
+        for i in 0..n {
+            let s = plan.shard_of(i);
+            prop_assert!(plan.ranges()[s].contains(&i));
+        }
+    }
+
+    #[test]
+    fn sharded_reduce_merges_in_shard_index_order(n in 1usize..60, k in 1usize..9) {
+        // A string-recording combine exposes the exact association
+        // order. Within a shard the kernel's fold is a pure function of
+        // the shard's length; across shards the merge must be the left
+        // fold of the partials in shard-index lexicographic order.
+        let set = ShardedPool::new(3, k);
+        let items: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+        let got = par_reduce_sharded(&set, items.clone(), |a, b| format!("({a} {b})"))
+            .unwrap();
+        // Reference: reduce each shard serially with the same
+        // length-determined chunking the kernel uses, then left-fold the
+        // shard partials in shard order.
+        let plan = ShardPlan::new(n, k);
+        let serial_set = ShardedPool::new(0, 1);
+        let expected = plan
+            .ranges()
+            .iter()
+            .filter(|r| !r.is_empty())
+            .map(|r| {
+                par_reduce_sharded(
+                    &serial_set,
+                    items[r.clone()].to_vec(),
+                    |a, b| format!("({a} {b})"),
+                )
+                .unwrap()
+            })
+            .reduce(|acc, x| format!("({acc} {x})"))
+            .unwrap();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn associative_sharded_reduce_equals_serial_fold(n in 1usize..200, k in 1usize..9, seed in 0u64..1000) {
+        // Wrapping u64 addition is associative: the sharded reduce must
+        // equal the plain serial left fold bitwise at every K.
+        let items: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9).wrapping_add(seed))
+            .collect();
+        let serial = items.iter().copied().reduce(u64::wrapping_add).unwrap();
+        let set = ShardedPool::new(2, k);
+        let got = par_reduce_sharded(&set, items, |a, b| a.wrapping_add(*b)).unwrap();
+        prop_assert_eq!(got, serial);
+    }
+
+    #[test]
+    fn nonassociative_reduce_is_thread_invariant_at_fixed_shards(n in 1usize..120, k in 1usize..6, seed in 0u64..1000) {
+        // f32 addition is non-associative, so the sharded result cannot
+        // in general equal the serial fold for K > 1 — but at fixed K
+        // the decomposition depends only on (n, K), so the bit pattern
+        // must be identical at every thread count, including inline.
+        let items: Vec<f32> = (0..n)
+            .map(|i| ((i as u64 * 2_654_435_761 + seed) % 1000) as f32 / 7.0)
+            .collect();
+        let mut bits: Option<u32> = None;
+        for threads in [0usize, 1, 2, 8] {
+            let set = ShardedPool::new(threads, k);
+            let got = par_reduce_sharded(&set, items.clone(), |a, b| *a + *b).unwrap();
+            match bits {
+                None => bits = Some(got.to_bits()),
+                Some(b) => prop_assert_eq!(
+                    got.to_bits(), b,
+                    "threads={} k={}", threads, k
+                ),
+            }
+        }
+    }
+}

@@ -693,6 +693,43 @@ mod tests {
     }
 
     #[test]
+    fn pool_calibrated_defaults_leave_plan_selection_unchanged() {
+        // Regression guard for pool-aware calibration: counters that
+        // measure exactly the default constants must select the exact
+        // plan (signature and goal cost) the fig9/fig10 path selects
+        // with the stock model.
+        use crate::cost::PoolCalibration;
+        use arboretum_par::PoolStats;
+        let lp = top1(1 << 12);
+        let cfg = PlannerConfig::paper_defaults(1 << 30);
+        let (reference, _) = plan(&lp, &cfg).unwrap();
+        let cm = cfg.cost_model.clone();
+        let mk = |secs: f64, ops: u64| {
+            vec![PoolStats {
+                tasks: ops,
+                busy_nanos: (secs * 1e9).round() as u64,
+                ..PoolStats::default()
+            }]
+        };
+        let ops = 1_000_000u64;
+        let cal = PoolCalibration {
+            verify: mk(ops as f64 * cm.zkp_verify_secs, ops),
+            verify_ops: ops,
+            aggregate: mk(ops as f64 * cm.bgv_add_secs, ops),
+            aggregate_ops: ops,
+            ring_degree: cm.full_degree as u64,
+        };
+        let mut calibrated_cfg = cfg.clone();
+        calibrated_cfg.cost_model = cm.with_pool_calibration(&cal);
+        let (calibrated, _) = plan(&lp, &calibrated_cfg).unwrap();
+        assert_eq!(calibrated.signature(), reference.signature());
+        assert_eq!(
+            calibrated.metrics.get(cfg.goal).to_bits(),
+            reference.metrics.get(cfg.goal).to_bits()
+        );
+    }
+
+    #[test]
     fn big_em_prefers_gumbel_over_exponentiate() {
         // At 2^15 categories, ExpSample's sequential committee scan and
         // the aggregator-side FHE exponentiations are both far over

@@ -22,7 +22,8 @@ use arboretum_lang::ast::DbSchema;
 use arboretum_mpc::engine::MpcEngine;
 use arboretum_mpc::fixp::{inject_with_cost, FunctionalityCost};
 use arboretum_mpc::network::NetMetrics;
-use arboretum_par::{par_map_arc, ParConfig};
+use arboretum_par::{par_map_arc_sharded, ParConfig, PoolStats};
+use arboretum_planner::cost::PoolCalibration;
 use arboretum_planner::logical::LogicalPlan;
 use arboretum_planner::plan::{PhysOp, Plan};
 use arboretum_sortition::select::{select_committees, Registry};
@@ -261,6 +262,37 @@ pub struct ExecutionReport {
     pub mpc_elapsed_estimate_secs: f64,
     /// Remaining budget after the query.
     pub budget_after: PrivacyCost,
+    /// Per-shard pool counters for the input-verification phase.
+    ///
+    /// Timing-bearing: `busy_nanos` varies run to run, so determinism
+    /// comparisons must not include this field.
+    pub verify_pool: Vec<PoolStats>,
+    /// Proof verifications performed (one per upload).
+    pub verify_ops: u64,
+    /// Per-shard pool counters for the ⊞-aggregation phase
+    /// (timing-bearing, like [`Self::verify_pool`]).
+    pub aggregate_pool: Vec<PoolStats>,
+    /// Homomorphic additions performed (`accepted − 1` across all tree
+    /// levels).
+    pub aggregate_ops: u64,
+    /// Ring degree the aggregation ran at.
+    pub ring_degree: u64,
+}
+
+impl ExecutionReport {
+    /// Packages the measured phase counters for
+    /// [`arboretum_planner::cost::CostModel::calibrate_from_pools`]:
+    /// aggregator cost constants derived from what the sharded pools
+    /// actually did, instead of the stock micro-bench defaults.
+    pub fn pool_calibration(&self) -> PoolCalibration {
+        PoolCalibration {
+            verify: self.verify_pool.clone(),
+            verify_ops: self.verify_ops,
+            aggregate: self.aggregate_pool.clone(),
+            aggregate_ops: self.aggregate_ops,
+            ring_degree: self.ring_degree,
+        }
+    }
 }
 
 /// Executes a plan on a deployment.
@@ -297,7 +329,9 @@ pub fn execute(
     )
     .map_err(|e| ExecError::Unsupported(e.to_string()))?;
     let ctx = Arc::new(BgvContext::new(bgv_params));
-    let pool = cfg.par.pool();
+    // Fresh sharded pools, so the per-phase counter deltas below cover
+    // exactly this execution (they feed `planner::cost::PoolCalibration`).
+    let shard_set = cfg.par.sharded_pool();
     let (sk, pk) = bgv_keygen(&ctx, &mut rng);
     // Budget check before authorizing (§5.2).
     let mut ledger = BudgetLedger::new(cfg.budget);
@@ -423,16 +457,26 @@ pub fn execute(
         })
         .collect();
 
-    // Phase B (parallel, pure): the aggregator verifies every proof.
-    // Verification touches no RNG, so the verdict vector — and
-    // everything downstream — is identical at any thread count.
+    // Phase B (parallel, pure): the aggregator verifies every proof
+    // across the device shards. Verification touches no RNG and the
+    // kernel indexes globally, so the verdict vector — and everything
+    // downstream — is identical at any shard and thread count.
     let uploads = Arc::new(uploads);
-    let verdicts: Vec<bool> = par_map_arc(&pool, &uploads, move |_, upload| match upload {
-        Upload::OneHot { proof, .. } => proof.as_ref().is_some_and(|p| verify_one_hot(&pp, p)),
-        Upload::Ranges { proofs, .. } => proofs
-            .as_ref()
-            .is_some_and(|ps| ps.iter().all(|p| verify_range(&pp, p, range_bits))),
-    });
+    let verify_ops = uploads.len() as u64;
+    let verify_before = shard_set.stats();
+    let verdicts: Vec<bool> =
+        par_map_arc_sharded(&shard_set, &uploads, move |_, upload| match upload {
+            Upload::OneHot { proof, .. } => proof.as_ref().is_some_and(|p| verify_one_hot(&pp, p)),
+            Upload::Ranges { proofs, .. } => proofs
+                .as_ref()
+                .is_some_and(|ps| ps.iter().all(|p| verify_range(&pp, p, range_bits))),
+        });
+    let verify_pool: Vec<PoolStats> = shard_set
+        .stats()
+        .iter()
+        .zip(&verify_before)
+        .map(|(now, before)| now.since(before))
+        .collect();
 
     // Phase C (serial, draws randomness): accepted devices go through
     // the sampling decision (§6's secrecy of the sample) and encrypt.
@@ -459,11 +503,14 @@ pub fn execute(
 
     // ---- Aggregation vignette. ----
     //
-    // Both paths run on the pool through the deterministic batch
-    // kernels: BGV ⊞ is associative row-wise modular addition, so the
-    // parallel reductions are bitwise identical to the serial folds
-    // they replace (see `arboretum_bgv::batch`).
+    // Both paths run on the sharded pools through the deterministic
+    // batch kernels: BGV ⊞ is associative row-wise modular addition, so
+    // the shard-order merges are bitwise identical to the serial folds
+    // they replace, for every shard and thread count (see
+    // `arboretum_bgv::batch`).
     let accepted_count = accepted.len();
+    let aggregate_ops = accepted_count.saturating_sub(1) as u64;
+    let aggregate_before = shard_set.stats();
     let uses_tree = plan
         .vignettes
         .iter()
@@ -481,18 +528,26 @@ pub fn execute(
         if accepted.is_empty() {
             return Err(ExecError::Unsupported("no accepted inputs".into()));
         }
-        let mut partials = arboretum_bgv::par_sum_chunks(&pool, &ctx, accepted, fanout.max(2));
+        let mut partials =
+            arboretum_bgv::par_sum_chunks_sharded(&shard_set, &ctx, accepted, fanout.max(2));
         step_results.push(b"sum-tree-level-0".to_vec());
         while partials.len() > 1 {
-            partials = arboretum_bgv::par_sum_chunks(&pool, &ctx, partials, fanout.max(2));
+            partials =
+                arboretum_bgv::par_sum_chunks_sharded(&shard_set, &ctx, partials, fanout.max(2));
         }
         partials.remove(0)
     } else {
-        let total = arboretum_bgv::par_sum(&pool, &ctx, accepted)
+        let total = arboretum_bgv::par_sum_sharded(&shard_set, &ctx, accepted)
             .ok_or_else(|| ExecError::Unsupported("no accepted inputs".into()))?;
         step_results.push(b"aggregator-sum".to_vec());
         total
     };
+    let aggregate_pool: Vec<PoolStats> = shard_set
+        .stats()
+        .iter()
+        .zip(&aggregate_before)
+        .map(|(now, before)| now.since(before))
+        .collect();
 
     // ---- VSR: key handoff keygen → decryption committee (§5.2). ----
     let key_secret = arboretum_crypto::group::scalar_from_hash(&sha256(
@@ -606,6 +661,11 @@ pub fn execute(
         audit_ok,
         mpc_elapsed_estimate_secs,
         budget_after: ledger.remaining(),
+        verify_pool,
+        verify_ops,
+        aggregate_pool,
+        aggregate_ops,
+        ring_degree: ctx.params.n as u64,
     })
 }
 

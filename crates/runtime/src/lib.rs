@@ -21,5 +21,8 @@ pub mod session;
 pub use audit::{audit, challenges_per_device, StepLog};
 pub use executor::{execute, Deployment, ExecError, ExecutionConfig, ExecutionReport, QueryCert};
 pub use mpc_eval::{MVal, MechStyle, MpcEvalError, MpcEvaluator};
-pub use net_exec::{run_with_failover, NetExecConfig, NetExecError, NetExecReport, NetParty};
+pub use net_exec::{
+    run_concurrent, run_concurrent_sharded, run_with_failover, NetExecConfig, NetExecError,
+    NetExecReport, NetParty,
+};
 pub use session::{reassign_for_churn, QueryRecord, Session, SessionError};

@@ -241,6 +241,38 @@ where
     })
 }
 
+/// Sharded variant of [`run_concurrent`]: the task list is partitioned
+/// across the [`arboretum_par::ShardedPool`]'s shards and each shard
+/// runs its contiguous slice on its own pinned pool.
+///
+/// Seeds are salted by the task's **global** index — the same salt
+/// [`run_concurrent`] applies — never by the task's position within its
+/// shard, so every task's outputs, failover path, and transport metrics
+/// (hence all `NetMeter` totals derived from them) are bitwise
+/// identical for every shard count and thread count, and identical to
+/// [`run_concurrent`] on a single pool. Results come back in task
+/// order.
+pub fn run_concurrent_sharded<F>(
+    set: &arboretum_par::ShardedPool,
+    cfg: &NetExecConfig,
+    tasks: Vec<F>,
+) -> Vec<Result<NetExecReport, NetExecError>>
+where
+    F: Fn(&mut NetParty) -> Result<Vec<FGold>, MpcError> + Send + Sync + 'static,
+{
+    let cfg = cfg.clone();
+    let tasks = std::sync::Arc::new(tasks);
+    arboretum_par::par_map_arc_sharded(set, &tasks, move |k, task| {
+        let salt = (k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let task_cfg = NetExecConfig {
+            dealer_seed: cfg.dealer_seed ^ salt,
+            party_seed: cfg.party_seed ^ salt,
+            ..cfg.clone()
+        };
+        run_with_failover(&task_cfg, |p: &mut NetParty| task(p))
+    })
+}
+
 /// Runs one committee attempt: `m` threads, one fabric, one dealer.
 fn run_committee<F>(
     cfg: &NetExecConfig,
@@ -328,6 +360,36 @@ mod tests {
             assert_eq!(a.outputs, b.outputs, "task {k}");
             assert_eq!(a.committee, b.committee, "task {k}");
             assert_eq!(a.metrics, b.metrics, "task {k}");
+        }
+    }
+
+    #[test]
+    fn sharded_tasks_match_single_pool_execution() {
+        let cfg = NetExecConfig::default();
+        let mk_tasks = || -> Vec<_> {
+            (0..5)
+                .map(|k| {
+                    move |p: &mut NetParty| -> Result<Vec<FGold>, MpcError> {
+                        let a = p.input(0, FGold::new(10 + k))?;
+                        let b = p.input(1, FGold::new(1))?;
+                        let s = p.add(&a, &b);
+                        p.open_batch(&[&s])
+                    }
+                })
+                .collect()
+        };
+        let serial_pool = arboretum_par::ThreadPool::new(0);
+        let reference = run_concurrent(&serial_pool, &cfg, mk_tasks());
+        for shards in [1usize, 2, 3] {
+            let set = arboretum_par::ShardedPool::new(2, shards);
+            let sharded = run_concurrent_sharded(&set, &cfg, mk_tasks());
+            assert_eq!(sharded.len(), reference.len());
+            for (k, (a, b)) in reference.iter().zip(&sharded).enumerate() {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.outputs, b.outputs, "shards={shards} task {k}");
+                assert_eq!(a.committee, b.committee, "shards={shards} task {k}");
+                assert_eq!(a.metrics, b.metrics, "shards={shards} task {k}");
+            }
         }
     }
 

@@ -7,7 +7,9 @@
 //! index-determined work decomposition; randomness confined to serial
 //! phases) against regressions in any of the wired call sites.
 
-use arboretum_bgv::{encode_coeffs, encrypt, keygen, par_sum, sum, BgvContext, BgvParams};
+use arboretum_bgv::{
+    encode_coeffs, encrypt, keygen, par_sum, par_sum_sharded, sum, BgvContext, BgvParams,
+};
 use arboretum_dp::budget::PrivacyCost;
 use arboretum_field::primes::{BGV_Q1, BGV_Q2, BGV_Q_ROOTS};
 use arboretum_field::FGold;
@@ -19,13 +21,20 @@ use arboretum_par::ParConfig;
 use arboretum_planner::logical::extract;
 use arboretum_planner::search::{plan, PlannerConfig};
 use arboretum_runtime::executor::{execute, Deployment, ExecutionConfig};
-use arboretum_runtime::net_exec::{run_concurrent, NetExecConfig, NetParty};
+use arboretum_runtime::net_exec::{
+    run_concurrent, run_concurrent_sharded, NetExecConfig, NetParty,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
 /// Thread counts every contract is checked at (0 = inline fallback).
 const THREAD_COUNTS: [usize; 4] = [0, 1, 2, 8];
+
+/// Shard counts the sharded contracts are swept over. Workload sizes in
+/// the sharded tests are deliberately *not* divisible by 2, 3, or 8, so
+/// every sweep exercises the remainder distribution of `ShardPlan`.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
 
 #[test]
 fn bgv_aggregate_is_bitwise_identical_at_any_thread_count() {
@@ -142,6 +151,157 @@ fn executor_respects_budget_across_thread_counts() {
             arboretum_runtime::executor::ExecError::BudgetExhausted,
             "{threads} threads"
         );
+    }
+}
+
+#[test]
+fn bgv_aggregate_is_bitwise_identical_at_any_shard_count() {
+    let params = BgvParams::new(
+        64,
+        vec![BGV_Q1, BGV_Q2],
+        BGV_Q_ROOTS[..2].to_vec(),
+        1 << 30,
+        None,
+    )
+    .unwrap();
+    let ctx = Arc::new(BgvContext::new(params));
+    let mut rng = StdRng::seed_from_u64(41);
+    let (_, pk) = keygen(&ctx, &mut rng);
+    // 67 is prime: every K in SHARD_COUNTS hits a remainder shard.
+    let cts: Vec<_> = (0..67u64)
+        .map(|i| {
+            let msg = encode_coeffs(&ctx, &[i % 11, i % 7]).unwrap();
+            encrypt(&ctx, &pk, &msg, &mut rng)
+        })
+        .collect();
+    let serial = sum(&ctx, &cts).unwrap();
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            let set = ParConfig::fixed(threads).with_shards(shards).sharded_pool();
+            let got = par_sum_sharded(&set, &ctx, cts.clone()).unwrap();
+            assert_eq!(got, serial, "shards={shards} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn planner_returns_identical_plan_at_any_shard_count() {
+    let src = "aggr = sum(db); r = em(aggr, 1.0); output(r);";
+    let schema = DbSchema::one_hot(1 << 30, 1 << 12);
+    let lp = extract(&parse(src).unwrap(), &schema, CertifyConfig::default()).unwrap();
+    let mut cfg = PlannerConfig::paper_defaults(1 << 30);
+    cfg.par = ParConfig::serial();
+    let (reference, _) = plan(&lp, &cfg).unwrap();
+    let ref_cost = reference.metrics.get(cfg.goal);
+    for shards in SHARD_COUNTS {
+        for threads in [0usize, 2] {
+            cfg.par = ParConfig::fixed(threads).with_shards(shards);
+            let (p, _) = plan(&lp, &cfg).unwrap();
+            assert_eq!(
+                p.metrics.get(cfg.goal),
+                ref_cost,
+                "shards={shards} threads={threads}"
+            );
+            assert_eq!(
+                p.signature(),
+                reference.signature(),
+                "shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn executor_report_is_identical_at_any_shard_and_thread_count() {
+    let categories = 4;
+    // 53 devices (prime): every shard count leaves a remainder.
+    let assignments: Vec<usize> = (0..53).map(|i| [0, 0, 2, 2, 2, 1, 3][i % 7]).collect();
+    let deployment = Deployment::one_hot(&assignments, categories);
+    let schema = DbSchema::one_hot(deployment.db.len() as u64, categories);
+    let src = "aggr = sum(db); r = em(aggr, 8.0); output(r);";
+    let lp = extract(&parse(src).unwrap(), &schema, CertifyConfig::default()).unwrap();
+    let (physical, _) = plan(&lp, &PlannerConfig::paper_defaults(1 << 30)).unwrap();
+
+    let run = |threads: usize, shards: usize| {
+        let cfg = ExecutionConfig {
+            malicious_fraction: 0.2,
+            par: ParConfig::fixed(threads).with_shards(shards),
+            ..ExecutionConfig::default()
+        };
+        execute(&physical, &lp, &deployment, &cfg).unwrap()
+    };
+
+    // The serial single-shard run is the reference everything else must
+    // reproduce bitwise. Timing-bearing fields (`verify_pool` /
+    // `aggregate_pool` busy_nanos) are deliberately NOT compared.
+    let reference = run(0, 1);
+    assert!(reference.rejected_inputs > 0, "want exercised rejections");
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            let report = run(threads, shards);
+            let tag = format!("shards={shards} threads={threads}");
+            assert_eq!(report.outputs, reference.outputs, "{tag}");
+            assert_eq!(report.rejected_inputs, reference.rejected_inputs, "{tag}");
+            assert_eq!(report.accepted_inputs, reference.accepted_inputs, "{tag}");
+            assert_eq!(report.mpc_metrics, reference.mpc_metrics, "{tag}");
+            assert_eq!(report.audit_ok, reference.audit_ok, "{tag}");
+            assert_eq!(
+                report.budget_after.epsilon, reference.budget_after.epsilon,
+                "{tag}"
+            );
+            // Structural (non-timing) calibration fields do follow the
+            // shard count.
+            assert_eq!(report.verify_pool.len(), shards, "{tag}");
+            assert_eq!(report.aggregate_pool.len(), shards, "{tag}");
+            assert_eq!(report.verify_ops, reference.verify_ops, "{tag}");
+            assert_eq!(report.aggregate_ops, reference.aggregate_ops, "{tag}");
+            assert_eq!(report.ring_degree, reference.ring_degree, "{tag}");
+        }
+    }
+}
+
+#[test]
+fn net_meter_totals_are_identical_at_any_shard_count() {
+    let cfg = NetExecConfig::default();
+    // 7 tasks: remainders at K ∈ {2, 3}, and more shards than tasks at
+    // K = 8 (empty shards must be harmless).
+    let make_tasks = || -> Vec<_> {
+        (0..7u64)
+            .map(|k| {
+                move |p: &mut NetParty| -> Result<Vec<FGold>, MpcError> {
+                    let a = p.input(0, FGold::new(100 + k))?;
+                    let b = p.input(1, FGold::new(2 * k + 1))?;
+                    let s = p.add(&a, &b);
+                    let prod = p.mul(&s, &b)?;
+                    p.open_batch(&[&s, &prod])
+                }
+            })
+            .collect()
+    };
+    let serial_pool = ParConfig::serial().pool();
+    let reference = run_concurrent(&serial_pool, &cfg, make_tasks());
+    let ref_payload: u64 = reference
+        .iter()
+        .map(|r| r.as_ref().unwrap().metrics.payload_bytes_total)
+        .sum();
+    for shards in SHARD_COUNTS {
+        for threads in [0usize, 2] {
+            let set = ParConfig::fixed(threads).with_shards(shards).sharded_pool();
+            let got = run_concurrent_sharded(&set, &cfg, make_tasks());
+            assert_eq!(got.len(), reference.len());
+            for (k, (r, g)) in reference.iter().zip(&got).enumerate() {
+                let (r, g) = (r.as_ref().unwrap(), g.as_ref().unwrap());
+                let tag = format!("task {k} shards={shards} threads={threads}");
+                assert_eq!(g.outputs, r.outputs, "{tag}");
+                assert_eq!(g.committee, r.committee, "{tag}");
+                assert_eq!(g.metrics, r.metrics, "{tag}");
+            }
+            let payload: u64 = got
+                .iter()
+                .map(|r| r.as_ref().unwrap().metrics.payload_bytes_total)
+                .sum();
+            assert_eq!(payload, ref_payload, "shards={shards} threads={threads}");
+        }
     }
 }
 
