@@ -1,0 +1,52 @@
+//! Old-vs-new NTT kernel benchmark.
+//!
+//! Times the retained division-based NTT against the Shoup/Barrett
+//! rewrite (forward, inverse, negacyclic multiply) and writes
+//! `BENCH_ntt.json` into the working directory. `--smoke` shrinks the
+//! iteration counts to finish in seconds; `--sizes` overrides the
+//! benchmarked transform lengths (comma-separated powers of two).
+
+use arboretum_bench::nttbench::bench_ntt;
+
+fn main() {
+    let mut sizes: Vec<usize> = vec![1024, 4096, 16384];
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--sizes" => {
+                sizes = args
+                    .next()
+                    .expect("--sizes needs a value")
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--sizes takes numbers"))
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown flag {other}; use --smoke | --sizes A,B,C");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Iteration counts scale inversely with n so every (size, op) cell
+    // gets comparable wall time; smoke mode cuts them 16x.
+    let budget = if smoke { 1usize << 16 } else { 1usize << 20 };
+    let bench = bench_ntt(&sizes, |n| (budget / n).max(2));
+    println!(
+        "NTT kernels: modulus {}, {} host CPU(s)",
+        bench.modulus, bench.host_cpus
+    );
+    println!(
+        "{:>7} {:>15} {:>8} {:>13} {:>13} {:>8} {:>10}",
+        "n", "op", "reps", "old (ns/op)", "new (ns/op)", "speedup", "identical"
+    );
+    for p in &bench.points {
+        println!(
+            "{:>7} {:>15} {:>8} {:>13.0} {:>13.0} {:>7.2}x {:>10}",
+            p.n, p.op, p.reps, p.old_ns_per_op, p.new_ns_per_op, p.speedup, p.identical
+        );
+    }
+    std::fs::write("BENCH_ntt.json", bench.to_json()).expect("write BENCH_ntt.json");
+    println!("wrote BENCH_ntt.json");
+}

@@ -8,6 +8,9 @@
 //!   experiments, run concretely on the MPC simulator.
 //! * [`parbench`] — serial-vs-parallel baselines for the aggregator
 //!   hot paths, emitting `BENCH_aggregation.json` / `BENCH_planner.json`.
+//! * [`nttbench`] — old-vs-new NTT kernel comparison (division-based
+//!   reference against the Shoup/Barrett rewrite), emitting
+//!   `BENCH_ntt.json`.
 //!
 //! Criterion micro-benchmarks of the substrates (the inputs to the cost
 //! model calibration) live in `benches/`.
@@ -18,5 +21,6 @@
 pub mod energy;
 pub mod figures;
 pub mod heterogeneity;
+pub mod nttbench;
 pub mod parbench;
 pub mod validation;

@@ -1,0 +1,329 @@
+//! Old-vs-new NTT kernel benchmarks (`BENCH_ntt.json` at the repo root).
+//!
+//! The field crate's runtime-modulus NTT was rewritten around
+//! Shoup/Barrett multiplication and lazy butterflies; this harness keeps
+//! a copy of the old division-based kernels and times both on the same
+//! workloads, recording ns/op, the speedup, and — because the rewrite's
+//! whole contract is bitwise-identical outputs — whether old and new
+//! produced the same result.
+
+use std::time::Instant;
+
+use arboretum_field::primes::{BGV_Q1, BGV_Q_ROOTS};
+use arboretum_field::zq::RtNttTable;
+
+/// The division-based kernels exactly as they looked before the rewrite:
+/// psi scaling as a separate pass, `%`-reduced butterflies, inverse with
+/// two multiplies per element. Duplicated from the field crate's
+/// reference-equivalence tests because test modules are not exported.
+mod reference {
+    // div-ok: this whole module IS the division baseline being benchmarked.
+    pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+        ((a as u128 * b as u128) % m as u128) as u64
+    }
+
+    pub fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+        let mut acc = 1u64 % m;
+        a %= m;
+        while e != 0 {
+            if e & 1 == 1 {
+                acc = mul_mod(acc, a, m);
+            }
+            a = mul_mod(a, a, m);
+            e >>= 1;
+        }
+        acc
+    }
+
+    pub fn inv_mod(a: u64, m: u64) -> u64 {
+        pow_mod(a, m - 2, m)
+    }
+
+    /// The pre-rewrite runtime-modulus negacyclic NTT.
+    pub struct RefNtt {
+        modulus: u64,
+        n: usize,
+        psi_pow: Vec<u64>,
+        psi_inv_pow: Vec<u64>,
+        omega_pow: Vec<u64>,
+        omega_inv_pow: Vec<u64>,
+        n_inv: u64,
+    }
+
+    impl RefNtt {
+        pub fn new(n: usize, modulus: u64, root: u64) -> Self {
+            let log2n = n.trailing_zeros();
+            let psi = pow_mod(root, (modulus - 1) >> (log2n + 1), modulus);
+            let psi_inv = inv_mod(psi, modulus);
+            let omega = mul_mod(psi, psi, modulus);
+            let omega_inv = inv_mod(omega, modulus);
+            let pows = |base: u64| -> Vec<u64> {
+                let mut v = Vec::with_capacity(n);
+                let mut acc = 1u64;
+                for _ in 0..n {
+                    v.push(acc);
+                    acc = mul_mod(acc, base, modulus);
+                }
+                v
+            };
+            Self {
+                modulus,
+                n,
+                psi_pow: pows(psi),
+                psi_inv_pow: pows(psi_inv),
+                omega_pow: pows(omega),
+                omega_inv_pow: pows(omega_inv),
+                n_inv: inv_mod(n as u64, modulus),
+            }
+        }
+
+        fn core(&self, a: &mut [u64], omega_pow: &[u64]) {
+            let n = self.n;
+            let q = self.modulus;
+            let mut j = 0usize;
+            for i in 1..n {
+                let mut bit = n >> 1;
+                while j & bit != 0 {
+                    j ^= bit;
+                    bit >>= 1;
+                }
+                j |= bit;
+                if i < j {
+                    a.swap(i, j);
+                }
+            }
+            let mut len = 2;
+            while len <= n {
+                let step = n / len;
+                for start in (0..n).step_by(len) {
+                    for k in 0..len / 2 {
+                        let w = omega_pow[k * step];
+                        let u = a[start + k];
+                        let v = mul_mod(a[start + k + len / 2], w, q);
+                        a[start + k] = (u + v) % q;
+                        a[start + k + len / 2] = (u + q - v) % q;
+                    }
+                }
+                len <<= 1;
+            }
+        }
+
+        pub fn forward(&self, a: &mut [u64]) {
+            for (x, &p) in a.iter_mut().zip(&self.psi_pow) {
+                *x = mul_mod(*x, p, self.modulus);
+            }
+            self.core(a, &self.omega_pow);
+        }
+
+        pub fn inverse(&self, a: &mut [u64]) {
+            self.core(a, &self.omega_inv_pow);
+            for (x, &p) in a.iter_mut().zip(&self.psi_inv_pow) {
+                *x = mul_mod(mul_mod(*x, p, self.modulus), self.n_inv, self.modulus);
+            }
+        }
+
+        pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+            let mut fa = a.to_vec();
+            let mut fb = b.to_vec();
+            self.forward(&mut fa);
+            self.forward(&mut fb);
+            for (x, &y) in fa.iter_mut().zip(fb.iter()) {
+                *x = mul_mod(*x, y, self.modulus);
+            }
+            self.inverse(&mut fa);
+            fa
+        }
+    }
+}
+
+/// One (ring degree, operation) measurement.
+#[derive(Clone, Debug)]
+pub struct NttPoint {
+    /// Transform length.
+    pub n: usize,
+    /// Which kernel: `"forward"`, `"inverse"`, or `"negacyclic_mul"`.
+    pub op: &'static str,
+    /// Iterations each side was timed over.
+    pub reps: usize,
+    /// Division-based reference, nanoseconds per operation.
+    pub old_ns_per_op: f64,
+    /// Shoup/Barrett rewrite, nanoseconds per operation.
+    pub new_ns_per_op: f64,
+    /// `old_ns_per_op / new_ns_per_op`.
+    pub speedup: f64,
+    /// Whether old and new produced bitwise-identical outputs.
+    pub identical: bool,
+}
+
+/// The NTT kernel benchmark: one [`NttPoint`] per (size, op) pair.
+#[derive(Clone, Debug)]
+pub struct NttBench {
+    /// The NTT modulus both sides ran under.
+    pub modulus: u64,
+    /// CPUs available to the benchmarking process. The kernels are
+    /// single-threaded; this is recorded so results from different
+    /// hosts are comparable.
+    pub host_cpus: usize,
+    /// One measurement per (size, op).
+    pub points: Vec<NttPoint>,
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Deterministic pseudo-random canonical residues (splitmix64 stream).
+fn workload(n: usize, q: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            z % q
+        })
+        .collect()
+}
+
+/// Times `reps` applications of `f` to a fresh clone of `src` each
+/// iteration (after one untimed warm-up), returning ns/op and the final
+/// output buffer for the identity check.
+fn time_transform(src: &[u64], reps: usize, mut f: impl FnMut(&mut [u64])) -> (f64, Vec<u64>) {
+    let mut buf = src.to_vec();
+    f(&mut buf);
+    let start = Instant::now();
+    for _ in 0..reps {
+        buf.copy_from_slice(src);
+        f(&mut buf);
+    }
+    let ns = start.elapsed().as_nanos() as f64 / reps as f64;
+    (ns, buf)
+}
+
+/// Runs the old-vs-new kernel comparison at each size in `sizes`,
+/// timing `reps_for(n)` iterations per side. The modulus is the first
+/// BGV ciphertext prime; inputs are deterministic, so `identical` in
+/// every point doubles as a determinism check on real workloads.
+pub fn bench_ntt(sizes: &[usize], reps_for: impl Fn(usize) -> usize) -> NttBench {
+    let q = BGV_Q1;
+    let root = BGV_Q_ROOTS[0];
+    let mut points = Vec::with_capacity(sizes.len() * 3);
+    for &n in sizes {
+        let reps = reps_for(n).max(1);
+        let old = reference::RefNtt::new(n, q, root);
+        let new = RtNttTable::new(n, q, root);
+        let a = workload(n, q, 0x0a11 ^ n as u64);
+        let b = workload(n, q, 0x0b22 ^ n as u64);
+        // A transformed-domain vector for the inverse benchmark, so the
+        // inverse runs on representative (post-forward) data.
+        let mut spec = a.clone();
+        new.forward(&mut spec);
+
+        let (old_ns, old_out) = time_transform(&a, reps, |buf| old.forward(buf));
+        let (new_ns, new_out) = time_transform(&a, reps, |buf| new.forward(buf));
+        points.push(NttPoint {
+            n,
+            op: "forward",
+            reps,
+            old_ns_per_op: old_ns,
+            new_ns_per_op: new_ns,
+            speedup: old_ns / new_ns.max(1e-9),
+            identical: old_out == new_out,
+        });
+
+        let (old_ns, old_out) = time_transform(&spec, reps, |buf| old.inverse(buf));
+        let (new_ns, new_out) = time_transform(&spec, reps, |buf| new.inverse(buf));
+        points.push(NttPoint {
+            n,
+            op: "inverse",
+            reps,
+            old_ns_per_op: old_ns,
+            new_ns_per_op: new_ns,
+            speedup: old_ns / new_ns.max(1e-9),
+            identical: old_out == new_out,
+        });
+
+        // negacyclic_mul does two forwards + pointwise + one inverse, so
+        // a third of the transform reps keeps wall time comparable.
+        let mul_reps = (reps / 3).max(1);
+        let mut old_out = old.negacyclic_mul(&a, &b);
+        let start = Instant::now();
+        for _ in 0..mul_reps {
+            old_out = old.negacyclic_mul(&a, &b);
+        }
+        let old_ns = start.elapsed().as_nanos() as f64 / mul_reps as f64;
+        let mut new_out = new.negacyclic_mul(&a, &b);
+        let start = Instant::now();
+        for _ in 0..mul_reps {
+            new_out = new.negacyclic_mul(&a, &b);
+        }
+        let new_ns = start.elapsed().as_nanos() as f64 / mul_reps as f64;
+        points.push(NttPoint {
+            n,
+            op: "negacyclic_mul",
+            reps: mul_reps,
+            old_ns_per_op: old_ns,
+            new_ns_per_op: new_ns,
+            speedup: old_ns / new_ns.max(1e-9),
+            identical: old_out == new_out,
+        });
+    }
+    NttBench {
+        modulus: q,
+        host_cpus: host_cpus(),
+        points,
+    }
+}
+
+impl NttBench {
+    /// Renders the benchmark as a JSON document (the schema of
+    /// `BENCH_ntt.json`).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"n\": {}, \"op\": \"{}\", \"reps\": {}, \
+                     \"old_ns_per_op\": {:.1}, \"new_ns_per_op\": {:.1}, \
+                     \"speedup\": {:.3}, \"identical\": {}}}",
+                    p.n, p.op, p.reps, p.old_ns_per_op, p.new_ns_per_op, p.speedup, p.identical
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"ntt_kernels\",\n  \"modulus\": {},\n  \
+             \"host_cpus\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+            self.modulus,
+            self.host_cpus,
+            rows.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn old_and_new_kernels_agree_on_bench_workloads() {
+        let b = bench_ntt(&[64, 256], |_| 2);
+        assert_eq!(b.points.len(), 6);
+        for p in &b.points {
+            assert!(p.identical, "n={} op={} diverged", p.n, p.op);
+            assert!(p.old_ns_per_op > 0.0 && p.new_ns_per_op > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let b = bench_ntt(&[64], |_| 1);
+        let j = b.to_json();
+        assert!(j.contains("\"bench\": \"ntt_kernels\""));
+        assert!(j.contains("\"op\": \"negacyclic_mul\""));
+        assert!(j.contains("\"identical\": true"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -10,7 +10,7 @@
 //!   secret. Combined with orbit-ordered slot encoding they implement
 //!   slot rotations; here we expose the coefficient-level primitive.
 
-use arboretum_field::zq::{inv_mod, mul_mod, neg_mod};
+use arboretum_field::zq::{inv_mod, mul_mod_shoup, neg_mod, shoup_precompute};
 use rand::Rng;
 
 use crate::poly::{BgvContext, RnsPoly};
@@ -60,8 +60,12 @@ pub fn mod_switch(
     let q0 = ctx.params.moduli[0];
     let q1 = ctx.params.moduli[1];
     let t = ctx.params.t;
+    // Both correction multipliers are fixed for the whole switch, so the
+    // per-coefficient products run through Shoup multiplication.
     let q1_inv_mod_q0 = inv_mod(q1 % q0, q0);
+    let q1_inv_mod_q0_shoup = shoup_precompute(q1_inv_mod_q0, q0);
     let q1_inv_mod_t = inv_mod(q1 % t, t);
+    let q1_inv_mod_t_shoup = shoup_precompute(q1_inv_mod_t, t);
 
     let switch_poly = |p: &RnsPoly| -> RnsPoly {
         let n = ctx.n();
@@ -81,7 +85,7 @@ pub fn mod_switch(
             };
             // k = (-d) * q1^{-1} mod t, centered.
             let d_mod_t = ((d_centered % t as i128 + t as i128) % t as i128) as u64;
-            let k = mul_mod(neg_mod(d_mod_t, t), q1_inv_mod_t, t);
+            let k = mul_mod_shoup(neg_mod(d_mod_t, t), q1_inv_mod_t, q1_inv_mod_t_shoup, t);
             let k_centered: i128 = if k > t / 2 {
                 k as i128 - t as i128
             } else {
@@ -92,7 +96,7 @@ pub fn mod_switch(
             // (c0 - δ mod q0) * q1^{-1} mod q0.
             let delta_mod_q0 = ((delta % q0 as i128 + q0 as i128) % q0 as i128) as u64;
             let num = arboretum_field::zq::sub_mod(c0, delta_mod_q0, q0);
-            out[j] = mul_mod(num, q1_inv_mod_q0, q0);
+            out[j] = mul_mod_shoup(num, q1_inv_mod_q0, q1_inv_mod_q0_shoup, q0);
         }
         RnsPoly { rows: vec![out] }
     };
@@ -180,15 +184,14 @@ pub fn galois_keygen<R: Rng + ?Sized>(
         let mut wj_sigma_s = sigma_s.clone();
         for (row, &q) in wj_sigma_s.rows.iter_mut().zip(&ctx.params.moduli) {
             let wj = arboretum_field::zq::pow_mod(1u64 << w_bits, j as u64, q);
+            let wj_shoup = shoup_precompute(wj, q);
             for c in row.iter_mut() {
-                *c = mul_mod(*c, wj, q);
+                *c = mul_mod_shoup(*c, wj, wj_shoup, q);
             }
         }
-        let b_j = a_j
-            .mul(&sk.s_rns, ctx)
-            .neg(ctx)
-            .add(&e_j.scale(ctx.params.t, ctx), ctx)
-            .add(&wj_sigma_s, ctx);
+        let mut b_j = a_j.mul(&sk.s_rns, ctx).neg(ctx);
+        b_j.add_assign(&e_j.scale(ctx.params.t, ctx), ctx);
+        b_j.add_assign(&wj_sigma_s, ctx);
         bs.push(b_j);
         as_.push(a_j);
     }
@@ -206,8 +209,8 @@ pub fn apply_galois(ctx: &BgvContext, ct: &Ciphertext, gk: &GaloisKey) -> Cipher
     let mut c0 = sc0;
     let mut c1 = RnsPoly::zero(ctx);
     for (j, dj) in digits.iter().enumerate() {
-        c0 = c0.add(&dj.mul(&gk.b[j], ctx), ctx);
-        c1 = c1.add(&dj.mul(&gk.a[j], ctx), ctx);
+        c0.add_assign(&dj.mul(&gk.b[j], ctx), ctx);
+        c1.add_assign(&dj.mul(&gk.a[j], ctx), ctx);
     }
     Ciphertext { c0, c1 }
 }

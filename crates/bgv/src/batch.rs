@@ -17,14 +17,18 @@ use arboretum_par::{
 };
 
 use crate::poly::BgvContext;
-use crate::scheme::{add, Ciphertext};
+use crate::scheme::{add, add_assign, Ciphertext};
 
 /// Serial reference: left fold of ⊞ over the ciphertexts. Returns
-/// `None` on empty input.
+/// `None` on empty input. The fold accumulates in place, so summing
+/// `k` ciphertexts allocates exactly one (the cloned first element).
 pub fn sum(ctx: &BgvContext, cts: &[Ciphertext]) -> Option<Ciphertext> {
     let mut it = cts.iter();
-    let first = it.next()?.clone();
-    Some(it.fold(first, |acc, ct| add(ctx, &acc, ct)))
+    let mut acc = it.next()?.clone();
+    for ct in it {
+        add_assign(ctx, &mut acc, ct);
+    }
+    Some(acc)
 }
 
 /// Parallel ⊞-sum via the deterministic tree reduction. Bitwise
@@ -56,7 +60,7 @@ pub fn par_sum_chunks(
     par_chunks(pool, cts, fanout, move |_, chunk| {
         let mut acc = chunk[0].clone();
         for ct in &chunk[1..] {
-            acc = add(&ctx, &acc, ct);
+            add_assign(&ctx, &mut acc, ct);
         }
         acc
     })
@@ -94,7 +98,7 @@ pub fn par_sum_chunks_sharded(
     par_chunks_sharded(set, cts, fanout, move |_, chunk| {
         let mut acc = chunk[0].clone();
         for ct in &chunk[1..] {
-            acc = add(&ctx, &acc, ct);
+            add_assign(&ctx, &mut acc, ct);
         }
         acc
     })

@@ -5,10 +5,63 @@
 //! composition (Garner's algorithm) reconstructs `u128` coefficients for
 //! the two operations that need the full modulus: relinearization digit
 //! decomposition and noise measurement.
+//!
+//! The hot paths are division-free and allocation-light: each context
+//! carries one [`Barrett`] reducer per prime (CRT decomposition, noise
+//! measurement), the Garner constant is stored with its Shoup quotient,
+//! and a [`ScratchPool`] recycles the per-prime transform buffers so
+//! [`RnsPoly::mul`] does not allocate two fresh vectors per prime per
+//! call.
 
-use arboretum_field::zq::{add_mod, inv_mod, mul_mod, neg_mod, sub_mod, RtNttTable};
+use std::sync::Mutex;
+
+use arboretum_field::zq::{
+    add_mod, inv_mod, mul_mod_shoup, neg_mod, shoup_precompute, sub_mod, Barrett, RtNttTable,
+};
 
 use crate::params::BgvParams;
+
+/// A pool of reusable `n`-length coefficient buffers.
+///
+/// Checked-out buffers are always exactly `n` long (zero-filled on first
+/// allocation, arbitrary contents on reuse — callers overwrite). The pool
+/// is a mutex-guarded free list: contention is negligible because
+/// checkouts bracket NTT work that is orders of magnitude longer than the
+/// lock hold time, and per-shard executor pools each own a cloned
+/// context.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<Vec<u64>>>,
+}
+
+impl ScratchPool {
+    /// Checks out a buffer of length `n`, reusing a returned one if
+    /// available.
+    pub fn take(&self, n: usize) -> Vec<u64> {
+        let recycled = self.free.lock().expect("scratch pool poisoned").pop();
+        match recycled {
+            Some(mut v) => {
+                v.resize(n, 0);
+                v
+            }
+            None => vec![0u64; n],
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&self, v: Vec<u64>) {
+        self.free.lock().expect("scratch pool poisoned").push(v);
+    }
+}
+
+impl Clone for ScratchPool {
+    fn clone(&self) -> Self {
+        // A cloned context starts with an empty free list; buffers are
+        // cheap to warm up and sharing them across clones would couple
+        // otherwise-independent pools.
+        Self::default()
+    }
+}
 
 /// Precomputed per-parameter-set state: NTT tables and CRT constants.
 #[derive(Debug, Clone)]
@@ -17,8 +70,13 @@ pub struct BgvContext {
     pub params: BgvParams,
     /// One NTT table per RNS prime.
     pub ntts: Vec<RtNttTable>,
-    /// Garner constant `q_0^{-1} mod q_1` (two-prime case).
-    garner_inv: Option<u64>,
+    /// One Barrett reducer per RNS prime (index-matched to `moduli`).
+    barretts: Vec<Barrett>,
+    /// Garner constant `q_0^{-1} mod q_1` with its Shoup quotient
+    /// (two-prime case).
+    garner_inv: Option<(u64, u64)>,
+    /// Reusable transform buffers for [`RnsPoly::mul`].
+    pub scratch: ScratchPool,
 }
 
 impl BgvContext {
@@ -30,18 +88,20 @@ impl BgvContext {
             .zip(&params.roots)
             .map(|(&q, &r)| RtNttTable::new(params.n, q, r))
             .collect();
+        let barretts = params.moduli.iter().map(|&q| Barrett::new(q)).collect();
         let garner_inv = if params.moduli.len() == 2 {
-            Some(inv_mod(
-                params.moduli[0] % params.moduli[1],
-                params.moduli[1],
-            ))
+            let q1 = params.moduli[1];
+            let g = inv_mod(params.moduli[0] % q1, q1);
+            Some((g, shoup_precompute(g, q1)))
         } else {
             None
         };
         Self {
             params,
             ntts,
+            barretts,
             garner_inv,
+            scratch: ScratchPool::default(),
         }
     }
 
@@ -50,31 +110,37 @@ impl BgvContext {
         self.params.n
     }
 
+    /// The Barrett reducer for RNS prime `i`.
+    pub fn barrett(&self, i: usize) -> &Barrett {
+        &self.barretts[i]
+    }
+
+    /// CRT-composes the two residues of one coefficient (two-prime
+    /// contexts) into its `u128` value.
+    #[inline]
+    pub fn compose_pair(&self, x0: u64, x1: u64) -> u128 {
+        // Garner: x = x0 + q0 * ((x1 - x0) * q0^{-1} mod q1).
+        let q0 = self.params.moduli[0];
+        let q1 = self.params.moduli[1];
+        let (g, g_shoup) = self.garner_inv.expect("two-prime context");
+        let b1 = &self.barretts[1];
+        let diff = sub_mod(b1.reduce(x1 as u128), b1.reduce(x0 as u128), q1);
+        let t = mul_mod_shoup(diff, g, g_shoup, q1);
+        x0 as u128 + q0 as u128 * t as u128
+    }
+
     /// CRT-composes per-prime residues of one coefficient into `u128`.
     pub fn compose(&self, residues: &[u64]) -> u128 {
         match residues.len() {
             1 => residues[0] as u128,
-            2 => {
-                // Garner: x = x0 + q0 * ((x1 - x0) * q0^{-1} mod q1).
-                let q0 = self.params.moduli[0];
-                let q1 = self.params.moduli[1];
-                let x0 = residues[0];
-                let x1 = residues[1];
-                let diff = sub_mod(x1 % q1, x0 % q1, q1);
-                let t = mul_mod(diff, self.garner_inv.expect("two-prime context"), q1);
-                x0 as u128 + q0 as u128 * t as u128
-            }
+            2 => self.compose_pair(residues[0], residues[1]),
             k => panic!("unsupported RNS prime count {k}"),
         }
     }
 
     /// Reduces a `u128` into per-prime residues.
     pub fn decompose(&self, x: u128) -> Vec<u64> {
-        self.params
-            .moduli
-            .iter()
-            .map(|&q| (x % q as u128) as u64)
-            .collect()
+        self.barretts.iter().map(|b| b.reduce(x)).collect()
     }
 }
 
@@ -144,6 +210,17 @@ impl RnsPoly {
         self.zip_with(other, ctx, sub_mod)
     }
 
+    /// In-place pointwise addition (`self ⊞= other`), the zero-allocation
+    /// form used by aggregation folds. Bitwise identical to [`Self::add`].
+    pub fn add_assign(&mut self, other: &Self, ctx: &BgvContext) {
+        self.zip_assign(other, ctx, add_mod)
+    }
+
+    /// In-place pointwise subtraction.
+    pub fn sub_assign(&mut self, other: &Self, ctx: &BgvContext) {
+        self.zip_assign(other, ctx, sub_mod)
+    }
+
     /// Negation.
     pub fn neg(&self, ctx: &BgvContext) -> Self {
         let rows = self
@@ -156,13 +233,25 @@ impl RnsPoly {
     }
 
     /// Ring multiplication via per-prime negacyclic NTT.
+    ///
+    /// The second transform buffer comes from the context's scratch pool
+    /// and is returned after the pointwise stage; only the result row
+    /// itself is (possibly) a fresh allocation.
     pub fn mul(&self, other: &Self, ctx: &BgvContext) -> Self {
         let rows = self
             .rows
             .iter()
             .zip(&other.rows)
             .zip(&ctx.ntts)
-            .map(|((a, b), ntt)| ntt.negacyclic_mul(a, b))
+            .map(|((a, b), ntt)| {
+                let mut fa = ctx.scratch.take(a.len());
+                fa.copy_from_slice(a);
+                let mut fb = ctx.scratch.take(b.len());
+                fb.copy_from_slice(b);
+                ntt.negacyclic_mul_inplace(&mut fa, &mut fb);
+                ctx.scratch.put(fb);
+                fa
+            })
             .collect();
         Self { rows }
     }
@@ -175,7 +264,10 @@ impl RnsPoly {
             .zip(&ctx.params.moduli)
             .map(|(row, &q)| {
                 let kq = k % q;
-                row.iter().map(|&c| mul_mod(c, kq, q)).collect()
+                let kq_shoup = shoup_precompute(kq, q);
+                row.iter()
+                    .map(|&c| mul_mod_shoup(c, kq, kq_shoup, q))
+                    .collect()
             })
             .collect();
         Self { rows }
@@ -186,17 +278,22 @@ impl RnsPoly {
     pub fn centered_coeffs(&self, ctx: &BgvContext) -> Vec<i128> {
         let q = ctx.params.q();
         let half = q / 2;
-        (0..ctx.n())
-            .map(|j| {
-                let residues: Vec<u64> = self.rows.iter().map(|r| r[j]).collect();
-                let x = ctx.compose(&residues);
-                if x > half {
-                    -((q - x) as i128)
-                } else {
-                    x as i128
-                }
-            })
-            .collect()
+        let center = |x: u128| -> i128 {
+            if x > half {
+                -((q - x) as i128)
+            } else {
+                x as i128
+            }
+        };
+        match self.rows.len() {
+            1 => self.rows[0].iter().map(|&x| center(x as u128)).collect(),
+            2 => self.rows[0]
+                .iter()
+                .zip(&self.rows[1])
+                .map(|(&x0, &x1)| center(ctx.compose_pair(x0, x1)))
+                .collect(),
+            k => panic!("unsupported RNS prime count {k}"),
+        }
     }
 
     fn zip_with(&self, other: &Self, ctx: &BgvContext, f: fn(u64, u64, u64) -> u64) -> Self {
@@ -208,6 +305,19 @@ impl RnsPoly {
             .map(|((a, b), &q)| a.iter().zip(b).map(|(&x, &y)| f(x, y, q)).collect())
             .collect();
         Self { rows }
+    }
+
+    fn zip_assign(&mut self, other: &Self, ctx: &BgvContext, f: fn(u64, u64, u64) -> u64) {
+        for ((a, b), &q) in self
+            .rows
+            .iter_mut()
+            .zip(&other.rows)
+            .zip(&ctx.params.moduli)
+        {
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = f(*x, y, q);
+            }
+        }
     }
 }
 
@@ -235,6 +345,22 @@ mod tests {
         let a = RnsPoly::from_signed(&c, &vec![7i64; c.n()]);
         let b = RnsPoly::from_signed(&c, &vec![-3i64; c.n()]);
         assert_eq!(a.add(&b, &c).sub(&b, &c), a);
+    }
+
+    #[test]
+    fn assign_ops_match_allocating_ops() {
+        let c = ctx();
+        let a = RnsPoly::from_signed(&c, &(0..c.n() as i64).map(|i| i - 50).collect::<Vec<_>>());
+        let b = RnsPoly::from_signed(
+            &c,
+            &(0..c.n() as i64).map(|i| 3 * i + 1).collect::<Vec<_>>(),
+        );
+        let mut x = a.clone();
+        x.add_assign(&b, &c);
+        assert_eq!(x, a.add(&b, &c));
+        let mut y = a.clone();
+        y.sub_assign(&b, &c);
+        assert_eq!(y, a.sub(&b, &c));
     }
 
     #[test]
@@ -292,5 +418,31 @@ mod tests {
             acc = acc.add(&a, &c);
         }
         assert_eq!(a.scale(5, &c), acc);
+    }
+
+    #[test]
+    fn scratch_pool_recycles_buffers() {
+        let pool = ScratchPool::default();
+        let mut v = pool.take(16);
+        assert_eq!(v.len(), 16);
+        v[0] = 99;
+        pool.put(v);
+        // Reused buffer comes back resized; contents are unspecified but
+        // the length contract holds.
+        let v2 = pool.take(8);
+        assert_eq!(v2.len(), 8);
+        let v3 = pool.take(8);
+        assert_eq!(v3.len(), 8);
+    }
+
+    #[test]
+    fn repeated_muls_reuse_scratch() {
+        let c = ctx();
+        let a = RnsPoly::from_signed(&c, &vec![2i64; c.n()]);
+        let b = RnsPoly::from_signed(&c, &vec![3i64; c.n()]);
+        let first = a.mul(&b, &c);
+        for _ in 0..4 {
+            assert_eq!(a.mul(&b, &c), first);
+        }
     }
 }

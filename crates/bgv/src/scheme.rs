@@ -100,19 +100,18 @@ pub fn relin_keygen<R: Rng + ?Sized>(ctx: &BgvContext, sk: &SecretKey, rng: &mut
     for j in 0..digits {
         let a_j = sample_uniform(ctx, rng);
         let e_j = RnsPoly::from_signed(ctx, &sample_error(ctx.n(), ctx.params.error_bound, rng));
-        // w^j · s², scaled per RNS prime.
+        // w^j · s², scaled per RNS prime (fixed multiplier → Shoup).
         let mut wj_s2 = sk.s2_rns.clone();
         for (row, &q) in wj_s2.rows.iter_mut().zip(&ctx.params.moduli) {
             let wj = arboretum_field::zq::pow_mod(1u64 << w_bits, j as u64, q);
+            let wj_shoup = arboretum_field::zq::shoup_precompute(wj, q);
             for c in row.iter_mut() {
-                *c = arboretum_field::zq::mul_mod(*c, wj, q);
+                *c = arboretum_field::zq::mul_mod_shoup(*c, wj, wj_shoup, q);
             }
         }
-        let b_j = a_j
-            .mul(&sk.s_rns, ctx)
-            .neg(ctx)
-            .add(&e_j.scale(ctx.params.t, ctx), ctx)
-            .add(&wj_s2, ctx);
+        let mut b_j = a_j.mul(&sk.s_rns, ctx).neg(ctx);
+        b_j.add_assign(&e_j.scale(ctx.params.t, ctx), ctx);
+        b_j.add_assign(&wj_s2, ctx);
         bs.push(b_j);
         as_.push(a_j);
     }
@@ -130,8 +129,11 @@ pub fn encrypt<R: Rng + ?Sized>(
     let u = RnsPoly::from_signed(ctx, &sample_ternary(ctx.n(), rng));
     let e0 = RnsPoly::from_signed(ctx, &sample_error(ctx.n(), ctx.params.error_bound, rng));
     let e1 = RnsPoly::from_signed(ctx, &sample_error(ctx.n(), ctx.params.error_bound, rng));
-    let c0 = pk.b.mul(&u, ctx).add(&e0.scale(t, ctx), ctx).add(m, ctx);
-    let c1 = pk.a.mul(&u, ctx).add(&e1.scale(t, ctx), ctx);
+    let mut c0 = pk.b.mul(&u, ctx);
+    c0.add_assign(&e0.scale(t, ctx), ctx);
+    c0.add_assign(m, ctx);
+    let mut c1 = pk.a.mul(&u, ctx);
+    c1.add_assign(&e1.scale(t, ctx), ctx);
     Ciphertext { c0, c1 }
 }
 
@@ -151,6 +153,13 @@ pub fn add(ctx: &BgvContext, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         c0: a.c0.add(&b.c0, ctx),
         c1: a.c1.add(&b.c1, ctx),
     }
+}
+
+/// In-place homomorphic addition (`a ⊞= b`): the zero-allocation form
+/// used by aggregation folds. Bitwise identical to [`add`].
+pub fn add_assign(ctx: &BgvContext, a: &mut Ciphertext, b: &Ciphertext) {
+    a.c0.add_assign(&b.c0, ctx);
+    a.c1.add_assign(&b.c1, ctx);
 }
 
 /// Homomorphic subtraction.
@@ -191,30 +200,48 @@ pub fn mul(ctx: &BgvContext, a: &Ciphertext, b: &Ciphertext, rlk: &RelinKey) -> 
     let mut c0 = d0;
     let mut c1 = d1;
     for (j, dj) in digits.iter().enumerate() {
-        c0 = c0.add(&dj.mul(&rlk.b[j], ctx), ctx);
-        c1 = c1.add(&dj.mul(&rlk.a[j], ctx), ctx);
+        c0.add_assign(&dj.mul(&rlk.b[j], ctx), ctx);
+        c1.add_assign(&dj.mul(&rlk.a[j], ctx), ctx);
     }
     Ciphertext { c0, c1 }
 }
 
 /// Decomposes a polynomial into base-`2^w` digit polynomials via CRT
 /// composition of each coefficient.
+///
+/// Digits are written straight into the per-prime rows — no per-coefficient
+/// residue vector and no trailing reduction pass. Every digit is below
+/// `2^w`, which is below every RNS modulus and the plaintext modulus by
+/// parameter validation, so the raw digit *is* its canonical residue.
 fn gadget_decompose(ctx: &BgvContext, p: &RnsPoly) -> Vec<RnsPoly> {
     let w_bits = ctx.params.relin_base_bits;
     let digits = ctx.params.relin_digits();
+    let n_primes = p.rows.len();
     let mask = (1u128 << w_bits) - 1;
-    let mut out: Vec<Vec<u64>> = vec![vec![0u64; ctx.n()]; digits];
+    debug_assert!(
+        ctx.params.moduli.iter().all(|&q| q > mask as u64),
+        "gadget digits must be canonical in every RNS row"
+    );
+    let mut out: Vec<RnsPoly> = (0..digits)
+        .map(|_| RnsPoly {
+            rows: (0..n_primes).map(|_| ctx.scratch.take(ctx.n())).collect(),
+        })
+        .collect();
     for j in 0..ctx.n() {
-        let residues: Vec<u64> = p.rows.iter().map(|r| r[j]).collect();
-        let mut x = ctx.compose(&residues);
-        for row in out.iter_mut() {
-            row[j] = (x & mask) as u64;
+        let mut x = match n_primes {
+            1 => p.rows[0][j] as u128,
+            2 => ctx.compose_pair(p.rows[0][j], p.rows[1][j]),
+            k => panic!("unsupported RNS prime count {k}"),
+        };
+        for digit_poly in out.iter_mut() {
+            let d = (x & mask) as u64;
+            for row in digit_poly.rows.iter_mut() {
+                row[j] = d;
+            }
             x >>= w_bits;
         }
     }
-    out.into_iter()
-        .map(|coeffs| RnsPoly::from_unsigned(ctx, &coeffs))
-        .collect()
+    out
 }
 
 /// Samples a uniform ring element (shared with the advanced module).

@@ -1,9 +1,14 @@
 //! Generic prime-field arithmetic with a const-generic modulus.
 //!
 //! Elements are stored in canonical form (`0 <= value < M`). All operations
-//! are constant-time-shaped (no data-dependent branches beyond the single
-//! conditional subtraction), which matters for the cryptographic callers in
+//! are constant-time-shaped (no data-dependent branches beyond conditional
+//! subtractions), which matters for the cryptographic callers in
 //! `arboretum-crypto` and `arboretum-bgv`.
+//!
+//! Multiplication reduces with a compile-time Barrett constant
+//! (`⌊2^128/M⌋`), so no hardware division appears anywhere on the hot
+//! path — the group exponentiations in `arboretum-crypto` (Schnorr,
+//! sigma protocols, commitments) inherit this through [`Fp::pow`].
 
 use core::fmt;
 use core::iter::{Product, Sum};
@@ -18,6 +23,28 @@ use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Fp<const M: u64>(u64);
 
+/// `⌊2^128/m⌋`, the Barrett constant for reducing 128-bit products.
+const fn barrett_ratio(m: u64) -> u128 {
+    assert!(m > 1, "field modulus must exceed 1");
+    if m.is_power_of_two() {
+        1u128 << (128 - m.trailing_zeros())
+    } else {
+        // m does not divide 2^128, so ⌊(2^128 − 1)/m⌋ = ⌊2^128/m⌋.
+        u128::MAX / m as u128
+    }
+}
+
+/// High 128 bits of the 256-bit product `x·y`.
+#[inline]
+const fn mul_hi_128(x: u128, y: u128) -> u128 {
+    let (x0, x1) = (x as u64 as u128, x >> 64);
+    let (y0, y1) = (y as u64 as u128, y >> 64);
+    let lo_carry = (x0 * y0) >> 64;
+    let (mid, c1) = (x1 * y0).overflowing_add(x0 * y1);
+    let (mid, c2) = mid.overflowing_add(lo_carry);
+    x1 * y1 + (mid >> 64) + (((c1 as u128) + (c2 as u128)) << 64)
+}
+
 impl<const M: u64> Fp<M> {
     /// The additive identity.
     pub const ZERO: Self = Self(0);
@@ -25,6 +52,9 @@ impl<const M: u64> Fp<M> {
     pub const ONE: Self = Self(1 % M);
     /// The field modulus.
     pub const MODULUS: u64 = M;
+    /// Compile-time Barrett constant `⌊2^128/M⌋` for division-free
+    /// reduction of 128-bit products.
+    const BARRETT_RATIO: u128 = barrett_ratio(M);
 
     /// Creates a field element, reducing `v` modulo `M`.
     #[inline]
@@ -46,6 +76,17 @@ impl<const M: u64> Fp<M> {
     #[inline]
     pub const fn value(self) -> u64 {
         self.0
+    }
+
+    /// Wraps a raw residue without reducing.
+    ///
+    /// Crate-internal escape hatch for the lazy NTT kernels in
+    /// [`crate::ntt`], which keep transient values in `[0, 4M)` between
+    /// butterfly stages. Any value stored through this constructor must
+    /// be canonicalized before it escapes a public entry point.
+    #[inline]
+    pub(crate) const fn from_raw(v: u64) -> Self {
+        Self(v)
     }
 
     /// Returns the signed representative in `(-M/2, M/2]`.
@@ -141,7 +182,20 @@ impl<const M: u64> Mul for Fp<M> {
     type Output = Self;
     #[inline]
     fn mul(self, rhs: Self) -> Self {
-        Self(((self.0 as u128 * rhs.0 as u128) % M as u128) as u64)
+        // Barrett reduction against the compile-time ratio: the quotient
+        // estimate is at most 2 short of ⌊z/M⌋, so two conditional
+        // subtractions canonicalize. No hardware division.
+        let z = self.0 as u128 * rhs.0 as u128;
+        let quot = mul_hi_128(z, Self::BARRETT_RATIO);
+        let m = M as u128;
+        let mut r = z - quot * m;
+        if r >= m << 1 {
+            r -= m << 1;
+        }
+        if r >= m {
+            r -= m;
+        }
+        Self(r as u64)
     }
 }
 
@@ -281,5 +335,31 @@ mod tests {
     #[should_panic(expected = "invert zero")]
     fn invert_zero_panics() {
         let _ = F::ZERO.inv();
+    }
+
+    #[test]
+    fn barrett_mul_matches_division() {
+        // The Barrett product must equal the u128-division reference for
+        // boundary operands, including the >2^63 Goldilocks modulus.
+        fn naive<const M: u64>(a: u64, b: u64) -> u64 {
+            ((a as u128 * b as u128) % M as u128) as u64 // div-ok: test oracle
+        }
+        for &(a, b) in &[
+            (0u64, 0u64),
+            (1, GOLDILOCKS - 1),
+            (GOLDILOCKS - 1, GOLDILOCKS - 1),
+            (GOLDILOCKS / 2, GOLDILOCKS / 2 + 7),
+            (0x1234_5678_9abc_def0, 0x0fed_cba9_8765_4321),
+        ] {
+            assert_eq!(
+                (F::new(a) * F::new(b)).value(),
+                naive::<GOLDILOCKS>(a % GOLDILOCKS, b % GOLDILOCKS)
+            );
+        }
+        for a in 0..17u64 {
+            for b in 0..17u64 {
+                assert_eq!((F17::new(a) * F17::new(b)).value(), naive::<17>(a, b));
+            }
+        }
     }
 }

@@ -3,9 +3,50 @@
 //! Provides the classic iterative radix-2 Cooley–Tukey NTT plus the
 //! negacyclic ("twisted") variant used for arithmetic in the BGV ring
 //! `Z_q[x] / (x^n + 1)`.
+//!
+//! # Kernel selection
+//!
+//! For moduli below `2^62` (all BGV ciphertext primes) the transforms run
+//! the division-free lazy kernels: twiddles stored with their Shoup
+//! quotients, butterflies in `[0, 4q)` (Harvey), the forward psi twist
+//! fused into the bit-reversal permutation, and the inverse `psi^{-i}` and
+//! `n^{-1}` factors merged into one table. Moduli at or above `2^62`
+//! (Goldilocks) fall back to the straightforward [`Fp`] butterflies, which
+//! are themselves division-free since `Fp` multiplication reduces through
+//! a compile-time Barrett constant. Both paths produce bitwise-identical
+//! canonical outputs — modular arithmetic is exact, so algebraically
+//! equivalent schedules agree on every bit.
 
 use crate::fp::Fp;
 use crate::primes::{root_of_unity, two_adicity};
+use crate::zq::{mul_mod_shoup, mul_mod_shoup_lazy, shoup_precompute, MAX_LAZY_MODULUS};
+
+/// Twiddles as `(w, ⌊w·2^64/M⌋)` pairs for Shoup multiplication.
+#[derive(Clone, Debug)]
+struct ShoupTable {
+    w: Vec<u64>,
+    shoup: Vec<u64>,
+}
+
+impl ShoupTable {
+    fn from_powers<const M: u64>(pows: &[Fp<M>]) -> Self {
+        let w: Vec<u64> = pows.iter().map(|x| x.value()).collect();
+        let shoup = w.iter().map(|&x| shoup_precompute(x, M)).collect();
+        Self { w, shoup }
+    }
+}
+
+/// Precomputed lazy-kernel tables, present only when `M < 2^62`.
+#[derive(Clone, Debug)]
+struct LazyTables {
+    psi: ShoupTable,
+    omega: ShoupTable,
+    omega_inv: ShoupTable,
+    /// Merged inverse-twist table `psi^{-i}·n^{-1}`.
+    psi_inv_n_inv: ShoupTable,
+    /// `(n^{-1}, shoup(n^{-1}))` for the cyclic inverse.
+    n_inv: (u64, u64),
+}
 
 /// Precomputed tables for (inverse) NTTs of a fixed power-of-two length.
 ///
@@ -24,6 +65,7 @@ pub struct NttTable<const M: u64> {
     omega_inv_pow: Vec<Fp<M>>,
     /// `n^{-1} mod M`.
     n_inv: Fp<M>,
+    lazy: Option<LazyTables>,
 }
 
 impl<const M: u64> NttTable<M> {
@@ -61,6 +103,15 @@ impl<const M: u64> NttTable<M> {
             d *= omega_inv;
         }
         let n_inv = Fp::<M>::new(n as u64).inv();
+        let lazy = (M < MAX_LAZY_MODULUS).then(|| LazyTables {
+            psi: ShoupTable::from_powers(&psi_pow),
+            omega: ShoupTable::from_powers(&omega_pow),
+            omega_inv: ShoupTable::from_powers(&omega_inv_pow),
+            psi_inv_n_inv: ShoupTable::from_powers(
+                &psi_inv_pow.iter().map(|&p| p * n_inv).collect::<Vec<_>>(),
+            ),
+            n_inv: (n_inv.value(), shoup_precompute(n_inv.value(), M)),
+        });
         Self {
             n,
             psi_pow,
@@ -68,6 +119,7 @@ impl<const M: u64> NttTable<M> {
             omega_pow,
             omega_inv_pow,
             n_inv,
+            lazy,
         }
     }
 
@@ -81,9 +133,9 @@ impl<const M: u64> NttTable<M> {
         self.n == 0
     }
 
-    fn core(&self, a: &mut [Fp<M>], omega_pow: &[Fp<M>]) {
+    /// Bit-reversal permutation.
+    fn permute(&self, a: &mut [Fp<M>]) {
         let n = self.n;
-        // Bit-reversal permutation.
         let mut j = 0usize;
         for i in 1..n {
             let mut bit = n >> 1;
@@ -96,7 +148,82 @@ impl<const M: u64> NttTable<M> {
                 a.swap(i, j);
             }
         }
-        // Iterative Cooley–Tukey butterflies.
+    }
+
+    /// Fused psi-twist + bit-reversal permutation: element `i` picks up
+    /// its `psi^i` factor during the permutation, saving a full pass.
+    fn twist_permute(&self, a: &mut [Fp<M>], t: &LazyTables) {
+        let n = self.n;
+        let (pw, ps) = (&t.psi.w, &t.psi.shoup);
+        a[0] = Fp::from_raw(mul_mod_shoup(a[0].value(), pw[0], ps[0], M));
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            if i < j {
+                let ai = mul_mod_shoup(a[i].value(), pw[i], ps[i], M);
+                let aj = mul_mod_shoup(a[j].value(), pw[j], ps[j], M);
+                a[i] = Fp::from_raw(aj);
+                a[j] = Fp::from_raw(ai);
+            } else if i == j {
+                a[i] = Fp::from_raw(mul_mod_shoup(a[i].value(), pw[i], ps[i], M));
+            }
+        }
+    }
+
+    /// Lazy Cooley–Tukey butterflies over bit-reversed input; values stay
+    /// in `[0, 4M)` between stages. With `canonical_last` the final stage
+    /// folds canonicalization in.
+    fn core_lazy(&self, a: &mut [Fp<M>], tw: &ShoupTable, canonical_last: bool) {
+        let n = self.n;
+        let two_q = M << 1;
+        let mut len = 2;
+        while len <= n {
+            let step = n / len;
+            let half = len / 2;
+            let last = canonical_last && len == n;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let w = tw.w[k * step];
+                    let ws = tw.shoup[k * step];
+                    let mut u = a[start + k].value();
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let t = mul_mod_shoup_lazy(a[start + k + half].value(), w, ws, M);
+                    let mut x = u + t;
+                    let mut y = u + two_q - t;
+                    if last {
+                        if x >= two_q {
+                            x -= two_q;
+                        }
+                        if x >= M {
+                            x -= M;
+                        }
+                        if y >= two_q {
+                            y -= two_q;
+                        }
+                        if y >= M {
+                            y -= M;
+                        }
+                    }
+                    a[start + k] = Fp::from_raw(x);
+                    a[start + k + half] = Fp::from_raw(y);
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Wide-modulus fallback: canonical [`Fp`] butterflies (division-free
+    /// through the Barrett `Mul`).
+    fn core_wide(&self, a: &mut [Fp<M>], omega_pow: &[Fp<M>]) {
+        let n = self.n;
+        self.permute(a);
         let mut len = 2;
         while len <= n {
             let step = n / len;
@@ -120,7 +247,12 @@ impl<const M: u64> NttTable<M> {
     /// Panics if `a.len()` differs from the table length.
     pub fn forward(&self, a: &mut [Fp<M>]) {
         assert_eq!(a.len(), self.n, "input length mismatch");
-        self.core(a, &self.omega_pow);
+        if let Some(t) = &self.lazy {
+            self.permute(a);
+            self.core_lazy(a, &t.omega, true);
+        } else {
+            self.core_wide(a, &self.omega_pow);
+        }
     }
 
     /// In-place inverse cyclic NTT.
@@ -130,9 +262,18 @@ impl<const M: u64> NttTable<M> {
     /// Panics if `a.len()` differs from the table length.
     pub fn inverse(&self, a: &mut [Fp<M>]) {
         assert_eq!(a.len(), self.n, "input length mismatch");
-        self.core(a, &self.omega_inv_pow);
-        for x in a.iter_mut() {
-            *x *= self.n_inv;
+        if let Some(t) = &self.lazy {
+            self.permute(a);
+            self.core_lazy(a, &t.omega_inv, false);
+            let (ni, nis) = t.n_inv;
+            for x in a.iter_mut() {
+                *x = Fp::from_raw(mul_mod_shoup(x.value(), ni, nis, M));
+            }
+        } else {
+            self.core_wide(a, &self.omega_inv_pow);
+            for x in a.iter_mut() {
+                *x *= self.n_inv;
+            }
         }
     }
 
@@ -143,18 +284,32 @@ impl<const M: u64> NttTable<M> {
     /// convolutions.
     pub fn forward_negacyclic(&self, a: &mut [Fp<M>]) {
         assert_eq!(a.len(), self.n, "input length mismatch");
-        for (x, &p) in a.iter_mut().zip(&self.psi_pow) {
-            *x *= p;
+        if let Some(t) = &self.lazy {
+            self.twist_permute(a, t);
+            self.core_lazy(a, &t.omega, true);
+        } else {
+            for (x, &p) in a.iter_mut().zip(&self.psi_pow) {
+                *x *= p;
+            }
+            self.core_wide(a, &self.omega_pow);
         }
-        self.core(a, &self.omega_pow);
     }
 
     /// In-place inverse negacyclic NTT.
     pub fn inverse_negacyclic(&self, a: &mut [Fp<M>]) {
         assert_eq!(a.len(), self.n, "input length mismatch");
-        self.core(a, &self.omega_inv_pow);
-        for (x, &p) in a.iter_mut().zip(&self.psi_inv_pow) {
-            *x = *x * p * self.n_inv;
+        if let Some(t) = &self.lazy {
+            self.permute(a);
+            self.core_lazy(a, &t.omega_inv, false);
+            let (mw, ms) = (&t.psi_inv_n_inv.w, &t.psi_inv_n_inv.shoup);
+            for (i, x) in a.iter_mut().enumerate() {
+                *x = Fp::from_raw(mul_mod_shoup(x.value(), mw[i], ms[i], M));
+            }
+        } else {
+            self.core_wide(a, &self.omega_inv_pow);
+            for (x, &p) in a.iter_mut().zip(&self.psi_inv_pow) {
+                *x = *x * p * self.n_inv;
+            }
         }
     }
 
@@ -207,6 +362,7 @@ mod tests {
         let orig: Vec<F> = (0..64).map(|i| F::new(i * 31 + 5)).collect();
         let mut a = orig.clone();
         t.forward(&mut a);
+        assert!(a.iter().all(|x| x.value() < BGV_Q1));
         t.inverse(&mut a);
         assert_eq!(a, orig);
     }
@@ -217,6 +373,7 @@ mod tests {
         let orig: Vec<F> = (0..128).map(|i| F::new(i * i + 1)).collect();
         let mut a = orig.clone();
         t.forward_negacyclic(&mut a);
+        assert!(a.iter().all(|x| x.value() < BGV_Q1));
         t.inverse_negacyclic(&mut a);
         assert_eq!(a, orig);
     }
@@ -245,7 +402,9 @@ mod tests {
 
     #[test]
     fn goldilocks_transform_works() {
+        // Goldilocks exceeds the 2^62 lazy bound, exercising the wide path.
         let t = NttTable::<GOLDILOCKS>::new(256, GOLDILOCKS_ROOT);
+        assert!(t.lazy.is_none());
         let orig: Vec<Fp<GOLDILOCKS>> = (0..256).map(|i| Fp::new(i as u64 * 0xdead_beef)).collect();
         let mut a = orig.clone();
         t.forward_negacyclic(&mut a);
@@ -259,5 +418,34 @@ mod tests {
         let a: Vec<F> = (0..64).map(|i| F::new(i * 13)).collect();
         let b: Vec<F> = (0..64).map(|i| F::new(i * 29 + 2)).collect();
         assert_eq!(t.negacyclic_mul(&a, &b), t.negacyclic_mul(&b, &a));
+    }
+
+    #[test]
+    fn lazy_matches_wide_reference() {
+        // The lazy kernels must agree bitwise with the generic Fp
+        // butterflies on the same tables.
+        let t = table(64);
+        assert!(t.lazy.is_some());
+        let orig: Vec<F> = (0..64).map(|i| F::new(i * 0x9e37 + 0x79b9)).collect();
+
+        let mut lazy_fwd = orig.clone();
+        t.forward_negacyclic(&mut lazy_fwd);
+
+        let mut wide_fwd = orig.clone();
+        for (x, &p) in wide_fwd.iter_mut().zip(&t.psi_pow) {
+            *x *= p;
+        }
+        t.core_wide(&mut wide_fwd, &t.omega_pow);
+        assert_eq!(lazy_fwd, wide_fwd);
+
+        let mut lazy_inv = lazy_fwd.clone();
+        t.inverse_negacyclic(&mut lazy_inv);
+        let mut wide_inv = wide_fwd;
+        t.core_wide(&mut wide_inv, &t.omega_inv_pow);
+        for (x, &p) in wide_inv.iter_mut().zip(&t.psi_inv_pow) {
+            *x = *x * p * t.n_inv;
+        }
+        assert_eq!(lazy_inv, wide_inv);
+        assert_eq!(lazy_inv, orig);
     }
 }

@@ -43,27 +43,12 @@ pub const BGV_T_ROOT: u64 = 7;
 /// 2-adicity of [`BGV_T_PRIME`].
 pub const BGV_T_TWO_ADICITY: u32 = 16;
 
-fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
-    ((a as u128 * b as u128) % m as u128) as u64
-}
-
-fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
-    let mut acc = 1u64 % m;
-    a %= m;
-    while e != 0 {
-        if e & 1 == 1 {
-            acc = mul_mod(acc, a, m);
-        }
-        a = mul_mod(a, a, m);
-        e >>= 1;
-    }
-    acc
-}
-
 /// Deterministic Miller–Rabin primality test, exact for all `u64`.
 ///
 /// Uses the first twelve primes as witnesses, which is a known-sufficient
-/// witness set for 64-bit integers.
+/// witness set for 64-bit integers. All modular arithmetic runs through a
+/// [`crate::zq::Barrett`] reducer — one setup per candidate, no per-step
+/// division.
 pub fn is_prime(n: u64) -> bool {
     const WITNESSES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
     if n < 2 {
@@ -80,13 +65,14 @@ pub fn is_prime(n: u64) -> bool {
         d /= 2;
         r += 1;
     }
+    let b = crate::zq::Barrett::new(n);
     'witness: for &a in &WITNESSES {
-        let mut x = pow_mod(a, d, n);
+        let mut x = b.pow(a, d);
         if x == 1 || x == n - 1 {
             continue;
         }
         for _ in 0..r - 1 {
-            x = mul_mod(x, x, n);
+            x = b.mul_mod(x, x);
             if x == n - 1 {
                 continue 'witness;
             }
@@ -114,12 +100,13 @@ pub fn root_of_unity(p: u64, root: u64, k: u32) -> u64 {
         "p - 1 lacks a 2^{k} factor (2-adicity {})",
         two_adicity(p)
     );
-    pow_mod(root, (p - 1) >> k, p)
+    crate::zq::pow_mod(root, (p - 1) >> k, p)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::zq::pow_mod;
 
     #[test]
     fn named_moduli_are_prime() {

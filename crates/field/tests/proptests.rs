@@ -1,13 +1,150 @@
-//! Property-based tests for the field crate's core invariants.
+//! Property-based tests for the field crate's core invariants, including
+//! reference-equivalence checks: the division-free kernels (Shoup,
+//! Barrett, lazy butterflies) must match the retained division-based
+//! reference implementations bitwise.
 
 use arboretum_field::fixed::Fix;
 use arboretum_field::fp::Fp;
 use arboretum_field::ntt::{negacyclic_mul_naive, NttTable};
-use arboretum_field::primes::{BGV_Q1, BGV_Q_ROOTS, GOLDILOCKS};
+use arboretum_field::primes::{BGV_Q1, BGV_Q2, BGV_Q_ROOTS, BGV_T_PRIME, BGV_T_ROOT, GOLDILOCKS};
+use arboretum_field::zq::{
+    mul_mod_shoup, mul_mod_shoup_lazy, pow_mod, shoup_precompute, Barrett, RtNttTable,
+};
 use proptest::prelude::*;
 
 type F = Fp<GOLDILOCKS>;
 type Fq = Fp<BGV_Q1>;
+
+/// The division-based kernels exactly as they looked before the
+/// Shoup/Barrett/lazy rewrite, retained as the equivalence oracle.
+mod reference {
+    pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+        ((a as u128 * b as u128) % m as u128) as u64
+    }
+
+    pub fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+        let mut acc = 1u64 % m;
+        a %= m;
+        while e != 0 {
+            if e & 1 == 1 {
+                acc = mul_mod(acc, a, m);
+            }
+            a = mul_mod(a, a, m);
+            e >>= 1;
+        }
+        acc
+    }
+
+    pub fn inv_mod(a: u64, m: u64) -> u64 {
+        pow_mod(a, m - 2, m)
+    }
+
+    /// The pre-rewrite runtime-modulus negacyclic NTT: psi scaling as a
+    /// separate pass, canonical (division-reduced) butterflies, inverse
+    /// with two multiplies per element.
+    pub struct RefNtt {
+        modulus: u64,
+        n: usize,
+        psi_pow: Vec<u64>,
+        psi_inv_pow: Vec<u64>,
+        omega_pow: Vec<u64>,
+        omega_inv_pow: Vec<u64>,
+        n_inv: u64,
+    }
+
+    impl RefNtt {
+        pub fn new(n: usize, modulus: u64, root: u64) -> Self {
+            let log2n = n.trailing_zeros();
+            let psi = pow_mod(root, (modulus - 1) >> (log2n + 1), modulus);
+            let psi_inv = inv_mod(psi, modulus);
+            let omega = mul_mod(psi, psi, modulus);
+            let omega_inv = inv_mod(omega, modulus);
+            let pows = |base: u64| -> Vec<u64> {
+                let mut v = Vec::with_capacity(n);
+                let mut acc = 1u64;
+                for _ in 0..n {
+                    v.push(acc);
+                    acc = mul_mod(acc, base, modulus);
+                }
+                v
+            };
+            Self {
+                modulus,
+                n,
+                psi_pow: pows(psi),
+                psi_inv_pow: pows(psi_inv),
+                omega_pow: pows(omega),
+                omega_inv_pow: pows(omega_inv),
+                n_inv: inv_mod(n as u64, modulus),
+            }
+        }
+
+        fn core(&self, a: &mut [u64], omega_pow: &[u64]) {
+            let n = self.n;
+            let q = self.modulus;
+            let mut j = 0usize;
+            for i in 1..n {
+                let mut bit = n >> 1;
+                while j & bit != 0 {
+                    j ^= bit;
+                    bit >>= 1;
+                }
+                j |= bit;
+                if i < j {
+                    a.swap(i, j);
+                }
+            }
+            let mut len = 2;
+            while len <= n {
+                let step = n / len;
+                for start in (0..n).step_by(len) {
+                    for k in 0..len / 2 {
+                        let w = omega_pow[k * step];
+                        let u = a[start + k];
+                        let v = mul_mod(a[start + k + len / 2], w, q);
+                        a[start + k] = (u + v) % q;
+                        a[start + k + len / 2] = (u + q - v) % q;
+                    }
+                }
+                len <<= 1;
+            }
+        }
+
+        pub fn forward(&self, a: &mut [u64]) {
+            for (x, &p) in a.iter_mut().zip(&self.psi_pow) {
+                *x = mul_mod(*x, p, self.modulus);
+            }
+            self.core(a, &self.omega_pow);
+        }
+
+        pub fn inverse(&self, a: &mut [u64]) {
+            self.core(a, &self.omega_inv_pow);
+            for (x, &p) in a.iter_mut().zip(&self.psi_inv_pow) {
+                *x = mul_mod(mul_mod(*x, p, self.modulus), self.n_inv, self.modulus);
+            }
+        }
+
+        pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+            let mut fa = a.to_vec();
+            let mut fb = b.to_vec();
+            self.forward(&mut fa);
+            self.forward(&mut fb);
+            for (x, &y) in fa.iter_mut().zip(fb.iter()) {
+                *x = mul_mod(*x, y, self.modulus);
+            }
+            self.inverse(&mut fa);
+            fa
+        }
+    }
+}
+
+/// `(modulus, primitive root)` pairs covering both BGV ciphertext primes
+/// and the plaintext prime used by the small parameter set.
+const NTT_PARAM_SETS: [(u64, u64); 3] = [
+    (BGV_Q1, BGV_Q_ROOTS[0]),
+    (BGV_Q2, BGV_Q_ROOTS[1]),
+    (BGV_T_PRIME, BGV_T_ROOT),
+];
 
 proptest! {
     #[test]
@@ -95,5 +232,135 @@ proptest! {
             let tol = 16 + 2 * 94_548 / y.raw();
             prop_assert!((back.raw() - a).abs() <= tol, "{} vs {}", back.raw(), a);
         }
+    }
+}
+
+// ---- Reference equivalence: division-free vs division-based kernels ----
+
+proptest! {
+    #[test]
+    fn barrett_matches_division_reference(a in any::<u64>(), b in any::<u64>()) {
+        for &(q, _) in &NTT_PARAM_SETS {
+            let bar = Barrett::new(q);
+            prop_assert_eq!(bar.mul_mod(a, b), reference::mul_mod(a % q, b % q, q));
+        }
+        // Goldilocks exceeds 2^63: the Barrett path must still be exact.
+        let bar = Barrett::new(GOLDILOCKS);
+        prop_assert_eq!(
+            bar.mul_mod(a, b),
+            reference::mul_mod(a % GOLDILOCKS, b % GOLDILOCKS, GOLDILOCKS)
+        );
+    }
+
+    #[test]
+    fn barrett_reduce_matches_division_reference(z in any::<u128>()) {
+        for &q in &[BGV_Q1, BGV_Q2, BGV_T_PRIME, GOLDILOCKS] {
+            prop_assert_eq!(Barrett::new(q).reduce(z), (z % q as u128) as u64);
+        }
+    }
+
+    #[test]
+    fn pow_matches_division_reference(a in any::<u64>(), e in any::<u64>()) {
+        for &(q, _) in &NTT_PARAM_SETS {
+            prop_assert_eq!(pow_mod(a, e, q), reference::pow_mod(a, e, q));
+        }
+    }
+
+    #[test]
+    fn shoup_matches_division_reference(a in any::<u64>(), w_raw in any::<u64>()) {
+        for &(q, _) in &NTT_PARAM_SETS {
+            let w = w_raw % q;
+            let ws = shoup_precompute(w, q);
+            let lazy = mul_mod_shoup_lazy(a, w, ws, q);
+            prop_assert!(lazy < 2 * q, "lazy result out of [0, 2q)");
+            prop_assert_eq!(mul_mod_shoup(a, w, ws, q), reference::mul_mod(a % q, w, q));
+        }
+    }
+
+    #[test]
+    fn rt_ntt_matches_division_reference(raw in prop::collection::vec(any::<u64>(), 64)) {
+        for &(q, root) in &NTT_PARAM_SETS {
+            let fast = RtNttTable::new(64, q, root);
+            let refk = reference::RefNtt::new(64, q, root);
+            let input: Vec<u64> = raw.iter().map(|&x| x % q).collect();
+
+            let mut got = input.clone();
+            let mut want = input.clone();
+            fast.forward(&mut got);
+            refk.forward(&mut want);
+            prop_assert_eq!(&got, &want, "forward mismatch, q={}", q);
+            prop_assert!(got.iter().all(|&x| x < q), "forward output not canonical");
+
+            fast.inverse(&mut got);
+            refk.inverse(&mut want);
+            prop_assert_eq!(&got, &want, "inverse mismatch, q={}", q);
+            prop_assert!(got.iter().all(|&x| x < q), "inverse output not canonical");
+            prop_assert_eq!(&got, &input, "roundtrip mismatch, q={}", q);
+        }
+    }
+
+    #[test]
+    fn rt_negacyclic_mul_matches_division_reference(
+        a_raw in prop::collection::vec(any::<u64>(), 32),
+        b_raw in prop::collection::vec(any::<u64>(), 32),
+    ) {
+        for &(q, root) in &NTT_PARAM_SETS {
+            let fast = RtNttTable::new(32, q, root);
+            let refk = reference::RefNtt::new(32, q, root);
+            let a: Vec<u64> = a_raw.iter().map(|&x| x % q).collect();
+            let b: Vec<u64> = b_raw.iter().map(|&x| x % q).collect();
+            let got = fast.negacyclic_mul(&a, &b);
+            prop_assert!(got.iter().all(|&x| x < q), "product not canonical");
+            prop_assert_eq!(got, refk.negacyclic_mul(&a, &b), "q={}", q);
+        }
+    }
+
+    #[test]
+    fn const_generic_ntt_matches_division_reference(
+        raw in prop::collection::vec(any::<u64>(), 64),
+    ) {
+        // The const-generic lazy kernels against the same reference.
+        let fast = NttTable::<BGV_Q1>::new(64, BGV_Q_ROOTS[0]);
+        let refk = reference::RefNtt::new(64, BGV_Q1, BGV_Q_ROOTS[0]);
+        let mut a: Vec<Fq> = raw.iter().map(|&x| Fq::new(x)).collect();
+        let mut want: Vec<u64> = a.iter().map(|x| x.value()).collect();
+        fast.forward_negacyclic(&mut a);
+        refk.forward(&mut want);
+        prop_assert_eq!(a.iter().map(|x| x.value()).collect::<Vec<_>>(), want.clone());
+        fast.inverse_negacyclic(&mut a);
+        refk.inverse(&mut want);
+        prop_assert_eq!(a.iter().map(|x| x.value()).collect::<Vec<_>>(), want);
+    }
+}
+
+/// Deterministic boundary sweep: values pinned near `q` (and near 0)
+/// exercise the conditional-subtract edges of every reduction path.
+#[test]
+fn boundary_values_near_q_match_reference() {
+    for &(q, root) in &NTT_PARAM_SETS {
+        let edge = [0u64, 1, 2, q / 2, q - 2, q - 1];
+        for &w in &edge {
+            let ws = shoup_precompute(w, q);
+            for &a in &edge {
+                assert_eq!(
+                    mul_mod_shoup(a, w, ws, q),
+                    reference::mul_mod(a, w, q),
+                    "shoup edge q={q} a={a} w={w}"
+                );
+                assert_eq!(
+                    Barrett::new(q).mul_mod(a, w),
+                    reference::mul_mod(a, w, q),
+                    "barrett edge q={q} a={a} w={w}"
+                );
+            }
+        }
+        // A vector saturated with boundary values through the full NTT.
+        let n = 64;
+        let fast = RtNttTable::new(n, q, root);
+        let refk = reference::RefNtt::new(n, q, root);
+        let input: Vec<u64> = (0..n).map(|i| edge[i % edge.len()]).collect();
+        let got = fast.negacyclic_mul(&input, &input);
+        assert!(got.iter().all(|&x| x < q), "boundary product not canonical");
+        assert_eq!(got, refk.negacyclic_mul(&input, &input), "q={q}");
     }
 }

@@ -390,10 +390,14 @@ pub fn execute(
         let span = (deployment.schema.hi - deployment.schema.lo).max(1) as u64;
         64 - span.leading_zeros()
     };
-    // Phase A (serial, draws randomness): every device builds its
-    // upload — the claimed values plus a proof of well-formedness.
-    // Malicious behavior and proof randomness are decided here so the
-    // RNG stream never depends on thread scheduling.
+    // Phase A (split serial/parallel): every device builds its upload —
+    // the claimed values plus a proof of well-formedness. The
+    // malicious-fraction draws stay on the serial RNG (a pre-pass, so
+    // the stream never depends on scheduling); proof construction then
+    // runs on the sharded pool with each device's proving RNG seeded
+    // from its *global* index, exactly as `net_exec::run_concurrent`
+    // salts per-task seeds. Totals are therefore bitwise identical at
+    // every thread and shard count.
     enum Upload {
         OneHot {
             bits: Vec<u64>,
@@ -404,19 +408,24 @@ pub fn execute(
             proofs: Option<Vec<arboretum_zkp::range::RangeProof>>,
         },
     }
-    let uploads: Vec<Upload> = deployment
-        .db
-        .iter()
-        .map(|row| {
+    let malicious_flags: Vec<bool> = (0..n)
+        .map(|_| rng.gen::<f64>() < cfg.malicious_fraction)
+        .collect();
+    let jobs: Vec<(Vec<i64>, bool)> = deployment.db.iter().cloned().zip(malicious_flags).collect();
+    let jobs = Arc::new(jobs);
+    let (schema_lo, schema_hi) = (deployment.schema.lo, deployment.schema.hi);
+    let upload_seed = cfg.seed ^ upload_tag();
+    let uploads: Vec<Upload> =
+        par_map_arc_sharded(&shard_set, &jobs, move |i, (row, is_malicious)| {
+            let mut dev_rng =
+                StdRng::seed_from_u64(upload_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let bits: Vec<u64> = row.iter().map(|&v| v as u64).collect();
-            let is_malicious = rng.gen::<f64>() < cfg.malicious_fraction;
             if !one_hot_schema {
                 // Numerical inputs: per-field range proofs (§5.3's
                 // "1,000 years old" defense).
-                let lo = deployment.schema.lo;
-                let effective_row: Vec<i64> = if is_malicious {
+                let effective_row: Vec<i64> = if *is_malicious {
                     row.iter()
-                        .map(|&v| v + (deployment.schema.hi - lo + 1))
+                        .map(|&v| v + (schema_hi - schema_lo + 1))
                         .collect()
                 } else {
                     row.clone()
@@ -424,8 +433,8 @@ pub fn execute(
                 let proofs: Option<Vec<_>> = effective_row
                     .iter()
                     .map(|&v| {
-                        let shifted = v.checked_sub(lo).filter(|&s| s >= 0)? as u64;
-                        prove_range(&pp, shifted, range_bits, &mut rng)
+                        let shifted = v.checked_sub(schema_lo).filter(|&s| s >= 0)? as u64;
+                        prove_range(&pp, shifted, range_bits, &mut dev_rng)
                             .ok()
                             .map(|(p, _)| p)
                     })
@@ -433,7 +442,7 @@ pub fn execute(
                 let vals: Vec<u64> = effective_row.iter().map(|&v| v as u64).collect();
                 return Upload::Ranges { vals, proofs };
             }
-            if is_malicious {
+            if *is_malicious {
                 // Malformed input: claims two categories at once.
                 let mut bad = bits.clone();
                 if let Some(slot) = bad.iter_mut().find(|b| **b == 0) {
@@ -441,7 +450,7 @@ pub fn execute(
                 }
                 // A malicious client cannot produce a valid proof for a
                 // non-one-hot vector; it sends a proof for different data.
-                let p = prove_one_hot(&pp, &bits, &mut rng).ok();
+                let p = prove_one_hot(&pp, &bits, &mut dev_rng).ok();
                 Upload::OneHot {
                     bits: bad,
                     proof: p.map(|mut p| {
@@ -451,11 +460,10 @@ pub fn execute(
                     }),
                 }
             } else {
-                let p = prove_one_hot(&pp, &bits, &mut rng).ok();
+                let p = prove_one_hot(&pp, &bits, &mut dev_rng).ok();
                 Upload::OneHot { bits, proof: p }
             }
-        })
-        .collect();
+        });
 
     // Phase B (parallel, pure): the aggregator verifies every proof
     // across the device shards. Verification touches no RNG and the
@@ -683,4 +691,8 @@ fn x0p5_tag() -> u64 {
 
 fn xkey_gen_tag() -> u64 {
     _tag(b"keygen-mpc")
+}
+
+fn upload_tag() -> u64 {
+    _tag(b"phase-a-uploads")
 }
