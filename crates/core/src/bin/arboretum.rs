@@ -5,6 +5,7 @@
 //! arboretum plan    <query.arb> [options]   choose an execution plan
 //! arboretum run     <query.arb> [options]   execute on a simulated deployment
 //! arboretum corpus                          list the built-in evaluation queries
+//! arboretum attack  --seed N [options]      replay a seeded adversary schedule
 //!
 //! options:
 //!   --participants N      deployment size for planning        [default 2^20]
@@ -19,6 +20,13 @@
 //!                         (0 = run inline)     [default: all host CPUs]
 //!   --shards K            independent aggregator pools, each pinned to
 //!                         a contiguous device shard       [default: 1]
+//!
+//! attack options:
+//!   --seed S              adversary schedule seed              [default 0]
+//!   --devices N           deployment size                      [default 48]
+//!   --committees C        networked-MPC committees             [default 3]
+//!   --numeric             numeric (range-proof) pipeline instead of one-hot
+//!   --no-net              skip the networked-MPC fault phase
 //! ```
 //!
 //! Plans, outputs, and metrics are identical at every `--threads` and
@@ -110,9 +118,86 @@ fn next(args: &[String], i: &mut usize) -> Result<String, String> {
         .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
 }
 
+/// Parses and runs `arboretum attack`: replays the seed-deterministic
+/// adversary schedule and prints the harness's cross-check verdict.
+fn attack(args: &[String]) -> ExitCode {
+    use arboretum_testkit::{dump_failure_artifact, run_attack, AttackConfig};
+
+    let mut cfg = AttackConfig::new(0);
+    let (mut threads, mut shards) = (None, None);
+    let mut i = 0;
+    while i < args.len() {
+        let r = match args[i].as_str() {
+            "--seed" => next(args, &mut i).and_then(|v| {
+                cfg.seed = v.parse().map_err(|e| format!("{e}"))?;
+                Ok(())
+            }),
+            "--devices" => next(args, &mut i).and_then(|v| {
+                cfg.n_devices = v.parse().map_err(|e| format!("{e}"))?;
+                Ok(())
+            }),
+            "--committees" => next(args, &mut i).and_then(|v| {
+                cfg.n_committees = v.parse().map_err(|e| format!("{e}"))?;
+                Ok(())
+            }),
+            "--numeric" => {
+                cfg.numeric = true;
+                Ok(())
+            }
+            "--no-net" => {
+                cfg.net_phase = false;
+                Ok(())
+            }
+            "--threads" => next(args, &mut i).and_then(|v| {
+                threads = Some(
+                    v.parse()
+                        .map_err(|e: std::num::ParseIntError| format!("{e}"))?,
+                );
+                Ok(())
+            }),
+            "--shards" => next(args, &mut i).and_then(|v| {
+                shards = Some(
+                    v.parse()
+                        .map_err(|e: std::num::ParseIntError| format!("{e}"))?,
+                );
+                Ok(())
+            }),
+            other => Err(format!("unknown attack option {other:?}")),
+        };
+        if let Err(e) = r {
+            eprintln!("{e}");
+            return usage();
+        }
+        i += 1;
+    }
+    if let Some(t) = threads {
+        cfg.par = arboretum::par::ParConfig::fixed(t);
+    }
+    if let Some(s) = shards {
+        cfg.par = cfg.par.with_shards(s);
+    }
+    match run_attack(&cfg) {
+        Ok(outcome) => {
+            println!("{}", outcome.summary());
+            if outcome.ok() {
+                ExitCode::SUCCESS
+            } else {
+                if let Ok(path) = dump_failure_artifact(&cfg, &outcome) {
+                    eprintln!("artifact: {}", path.display());
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("attack run failed to execute: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: arboretum <certify|plan|run|corpus> [query-file] [options]\n\
+        "usage: arboretum <certify|plan|run|corpus|attack> [query-file] [options]\n\
          run `arboretum corpus` to list built-in queries; a query file\n\
          contains the Figure 2 language, e.g.:\n\
          \n\
@@ -145,6 +230,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "attack" => attack(&args[1..]),
         "certify" | "plan" | "run" => {
             let Some(path) = args.get(1) else {
                 return usage();

@@ -37,6 +37,16 @@ impl PrivacyCost {
         Self::pure((k as f64).sqrt() * eps)
     }
 
+    /// Parallel composition over disjoint sub-populations: when two
+    /// mechanisms touch disjoint record sets, the combined cost is the
+    /// componentwise maximum, not the sum (McSherry).
+    pub fn parallel_compose(self, other: Self) -> Self {
+        Self {
+            epsilon: self.epsilon.max(other.epsilon),
+            delta: self.delta.max(other.delta),
+        }
+    }
+
     /// Amplification by subsampling (secrecy of the sample): running an
     /// `ε`-DP query on a `φ`-sample is `ln(1 + φ(e^ε − 1))`-DP.
     pub fn amplify_by_sampling(self, phi: f64) -> Self {

@@ -1,0 +1,403 @@
+//! Byzantine behavior injection for the executor (§5.1, §5.3).
+//!
+//! The security argument says the runtime *detects* malformed inputs and
+//! misbehaving committee members; this module is the hook that lets a
+//! test harness make devices actually misbehave, so the claim can be
+//! checked end to end. An [`Adversary`] assigns each simulated device
+//! and committee member a behavior from a small catalog; the executor
+//! consults it at the points where a real deployment would receive
+//! attacker-controlled bytes, and reports every rejection as a typed
+//! [`Detection`] attributed to the subject that caused it.
+//!
+//! The honest implementation ([`HonestAdversary`]) is a no-op and the
+//! production entry point ([`crate::executor::execute`]) never pays for
+//! any of this: behaviors are only consulted when an adversary is
+//! supplied.
+
+use arboretum_crypto::group::Scalar;
+use arboretum_crypto::pedersen::{Opening, PedersenParams};
+use arboretum_crypto::sha256::{sha256, Digest};
+use arboretum_crypto::transcript::Transcript;
+use arboretum_zkp::onehot::OneHotProof;
+use arboretum_zkp::sigma::{prove_bit, prove_dlog};
+use rand::Rng;
+
+/// What a simulated device does with its upload (§5.3 input validation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceBehavior {
+    /// Follows the protocol.
+    Honest,
+    /// Submits well-formed data but corrupts a sigma-protocol response
+    /// in its proof (`z0 += 1` on the first bit proof).
+    TamperSigmaProof,
+    /// Claims two categories at once (one-hot) or drops a per-field
+    /// proof (numeric), with otherwise internally consistent proofs.
+    MalformedOneHot,
+    /// Sends a proof with a missing component (truncated bit-proof
+    /// vector / missing trailing field proof).
+    TruncatedProof,
+    /// Claims a value outside the declared range: a one-hot coordinate
+    /// of 2, or numeric fields shifted past the schema's `hi`.
+    OutOfRangeValue,
+    /// Passes input validation, then submits a BGV ciphertext that does
+    /// not match the committed upload.
+    WrongBgvCiphertext,
+}
+
+/// What a simulated committee member does (§5.2 certificate + VSR).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommitteeBehavior {
+    /// Follows the protocol.
+    Honest,
+    /// Signs a stale certificate body (previous beacon) instead of the
+    /// current one.
+    StaleSignature,
+    /// Redistributes a value different from its committed share during
+    /// the VSR key handoff (caught by the constant-term check).
+    EquivocateCommit,
+    /// Publishes an internally inconsistent VSR subshare batch (caught
+    /// by per-subshare Feldman verification).
+    InconsistentVsrShares,
+}
+
+/// Who a detection is attributed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Subject {
+    /// An uploading device, by registry index.
+    Device(usize),
+    /// A committee member.
+    CommitteeMember {
+        /// Committee index (0 = key generation).
+        committee: usize,
+        /// Seat within the committee.
+        member: usize,
+        /// The member's device registry index.
+        device: usize,
+    },
+}
+
+/// The typed reason a subject was rejected, with enough indices to
+/// pinpoint the failing check.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DetectionKind {
+    /// One-hot proof missing or structurally malformed.
+    OneHotStructure,
+    /// One-hot bit proof failed at a coordinate.
+    OneHotBitProof {
+        /// Failing coordinate.
+        index: usize,
+    },
+    /// One-hot coordinate-sum proof failed (claimed sum ≠ 1).
+    OneHotSumProof,
+    /// Range-proof vector structurally malformed (wrong arity).
+    RangeStructure,
+    /// A numeric upload arrived without range proofs.
+    RangeProofMissing,
+    /// Range bit proof failed.
+    RangeBitProof {
+        /// Which field of the row.
+        field: usize,
+        /// Failing bit position within the field's proof.
+        index: usize,
+    },
+    /// Range proof bits do not bind to the value commitment.
+    RangeBinding {
+        /// Which field of the row.
+        field: usize,
+    },
+    /// Submitted BGV ciphertext does not match the committed upload.
+    CiphertextMismatch,
+    /// Certificate signature over a stale body.
+    StaleSignature,
+    /// VSR batch constant term disagrees with the member's committed
+    /// share (equivocation).
+    VsrEquivocation,
+    /// VSR batch contained inconsistent subshares.
+    VsrBadSubshares {
+        /// Evaluation points of the failing subshares.
+        subshares: Vec<u64>,
+    },
+}
+
+/// [`DetectionKind`] with the indices erased — the behavior *class*.
+///
+/// Schedules know which class each injected behavior must produce, but
+/// not always the exact index (e.g. which coordinate of a one-hot row is
+/// hot depends on the device's data), so sweep assertions match on
+/// classes while targeted unit tests pin exact indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DetectionClass {
+    /// See [`DetectionKind::OneHotStructure`].
+    OneHotStructure,
+    /// See [`DetectionKind::OneHotBitProof`].
+    OneHotBitProof,
+    /// See [`DetectionKind::OneHotSumProof`].
+    OneHotSumProof,
+    /// See [`DetectionKind::RangeStructure`].
+    RangeStructure,
+    /// See [`DetectionKind::RangeProofMissing`].
+    RangeProofMissing,
+    /// See [`DetectionKind::RangeBitProof`].
+    RangeBitProof,
+    /// See [`DetectionKind::RangeBinding`].
+    RangeBinding,
+    /// See [`DetectionKind::CiphertextMismatch`].
+    CiphertextMismatch,
+    /// See [`DetectionKind::StaleSignature`].
+    StaleSignature,
+    /// See [`DetectionKind::VsrEquivocation`].
+    VsrEquivocation,
+    /// See [`DetectionKind::VsrBadSubshares`].
+    VsrBadSubshares,
+}
+
+impl DetectionKind {
+    /// The index-erased class of this detection.
+    pub fn class(&self) -> DetectionClass {
+        match self {
+            Self::OneHotStructure => DetectionClass::OneHotStructure,
+            Self::OneHotBitProof { .. } => DetectionClass::OneHotBitProof,
+            Self::OneHotSumProof => DetectionClass::OneHotSumProof,
+            Self::RangeStructure => DetectionClass::RangeStructure,
+            Self::RangeProofMissing => DetectionClass::RangeProofMissing,
+            Self::RangeBitProof { .. } => DetectionClass::RangeBitProof,
+            Self::RangeBinding { .. } => DetectionClass::RangeBinding,
+            Self::CiphertextMismatch => DetectionClass::CiphertextMismatch,
+            Self::StaleSignature => DetectionClass::StaleSignature,
+            Self::VsrEquivocation => DetectionClass::VsrEquivocation,
+            Self::VsrBadSubshares { .. } => DetectionClass::VsrBadSubshares,
+        }
+    }
+}
+
+/// One flagged subject with its typed reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Detection {
+    /// Who was flagged.
+    pub subject: Subject,
+    /// Why.
+    pub kind: DetectionKind,
+}
+
+impl Detection {
+    /// `(subject, class)` pair for order-insensitive sweep matching.
+    pub fn classified(&self) -> (Subject, DetectionClass) {
+        (self.subject, self.kind.class())
+    }
+}
+
+impl DeviceBehavior {
+    /// The detection class this behavior must produce — `None` for
+    /// honest devices. `one_hot` selects the schema family, since the
+    /// same behavior manifests differently per proof system.
+    pub fn expected_class(&self, one_hot: bool) -> Option<DetectionClass> {
+        match self {
+            Self::Honest => None,
+            Self::TamperSigmaProof => Some(if one_hot {
+                DetectionClass::OneHotBitProof
+            } else {
+                DetectionClass::RangeBitProof
+            }),
+            Self::MalformedOneHot => Some(if one_hot {
+                DetectionClass::OneHotSumProof
+            } else {
+                DetectionClass::RangeStructure
+            }),
+            Self::TruncatedProof => Some(if one_hot {
+                DetectionClass::OneHotStructure
+            } else {
+                DetectionClass::RangeStructure
+            }),
+            Self::OutOfRangeValue => Some(if one_hot {
+                DetectionClass::OneHotBitProof
+            } else {
+                DetectionClass::RangeProofMissing
+            }),
+            Self::WrongBgvCiphertext => Some(DetectionClass::CiphertextMismatch),
+        }
+    }
+}
+
+impl CommitteeBehavior {
+    /// The detection class this behavior must produce — `None` for
+    /// honest members.
+    pub fn expected_class(&self) -> Option<DetectionClass> {
+        match self {
+            Self::Honest => None,
+            Self::StaleSignature => Some(DetectionClass::StaleSignature),
+            Self::EquivocateCommit => Some(DetectionClass::VsrEquivocation),
+            Self::InconsistentVsrShares => Some(DetectionClass::VsrBadSubshares),
+        }
+    }
+}
+
+/// Behavior oracle consulted by the executor at attacker-controllable
+/// points. Implementations must be pure functions of their inputs so a
+/// run reproduces bitwise from its seed.
+pub trait Adversary {
+    /// Behavior of uploading device `device` (registry index).
+    fn device_behavior(&self, device: usize) -> DeviceBehavior {
+        let _ = device;
+        DeviceBehavior::Honest
+    }
+
+    /// Behavior of seat `member` on committee `committee`.
+    fn committee_behavior(&self, committee: usize, member: usize) -> CommitteeBehavior {
+        let _ = (committee, member);
+        CommitteeBehavior::Honest
+    }
+}
+
+/// The no-op adversary: everyone follows the protocol.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HonestAdversary;
+
+impl Adversary for HonestAdversary {}
+
+/// Builds a one-hot proof for an arbitrary claimed vector, the way a
+/// cheating client would: real bit proofs wherever the coordinate really
+/// is a bit, a best-effort simulated proof (opening clamped to 1)
+/// wherever it is not, and a sum proof over the accumulated blindings.
+///
+/// For a vector whose coordinates are all bits but whose sum exceeds
+/// one, every bit proof verifies and the *sum* proof is the first
+/// failure; for a vector with an out-of-range coordinate, the *bit*
+/// proof at that coordinate fails first. [`prove_one_hot`] refuses both
+/// inputs, which is exactly why the harness needs this forgery.
+///
+/// # Panics
+///
+/// Panics if `bits` is empty.
+///
+/// [`prove_one_hot`]: arboretum_zkp::onehot::prove_one_hot
+pub fn forge_one_hot<R: Rng + ?Sized>(
+    pp: &PedersenParams,
+    bits: &[u64],
+    rng: &mut R,
+) -> OneHotProof {
+    assert!(!bits.is_empty(), "cannot forge an empty one-hot proof");
+    let mut transcript = Transcript::new(b"one-hot");
+    transcript.append_u64(b"len", bits.len() as u64);
+    let mut commitments = Vec::with_capacity(bits.len());
+    let mut opens = Vec::with_capacity(bits.len());
+    for &b in bits {
+        let (c, o) = pp.commit(Scalar::new(b), rng);
+        transcript.append_point(b"c", &c.0);
+        commitments.push(c);
+        // `prove_bit` refuses non-bit openings; the forger lies about
+        // the opened value and keeps the real blinding, which is the
+        // best any cheater can do without breaking the commitment.
+        let claimed = if b > 1 {
+            Opening {
+                value: Scalar::ONE,
+                blinding: o.blinding,
+            }
+        } else {
+            o
+        };
+        opens.push(claimed);
+    }
+    let bit_proofs = commitments
+        .iter()
+        .zip(&opens)
+        .map(|(c, o)| prove_bit(pp, c, o, &mut transcript, rng))
+        .collect();
+    let total = opens.iter().fold(
+        Opening {
+            value: Scalar::ZERO,
+            blinding: Scalar::ZERO,
+        },
+        |acc, o| acc.add(*o),
+    );
+    let d = commitments
+        .iter()
+        .skip(1)
+        .fold(commitments[0], |acc, c| acc.add(*c))
+        .0
+        - pp.g;
+    let sum_proof = prove_dlog(pp, &d, total.blinding, &mut transcript, rng);
+    OneHotProof {
+        commitments,
+        bit_proofs,
+        sum_proof,
+    }
+}
+
+/// Digest of a BGV ciphertext, used to bind the submitted ciphertext to
+/// the one recomputed from the validated upload.
+pub fn ciphertext_digest(ct: &arboretum_bgv::Ciphertext) -> Digest {
+    let mut bytes = Vec::new();
+    for poly in [&ct.c0, &ct.c1] {
+        for row in &poly.rows {
+            for &c in row {
+                bytes.extend_from_slice(&c.to_be_bytes());
+            }
+        }
+    }
+    sha256(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arboretum_zkp::onehot::{verify_one_hot_detailed, OneHotVerifyError};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forged_overfull_vector_fails_at_sum_proof() {
+        let pp = PedersenParams::standard();
+        let mut rng = StdRng::seed_from_u64(17);
+        let proof = forge_one_hot(&pp, &[1, 0, 1, 0], &mut rng);
+        assert_eq!(
+            verify_one_hot_detailed(&pp, &proof),
+            Err(OneHotVerifyError::SumProof)
+        );
+    }
+
+    #[test]
+    fn forged_out_of_range_coordinate_fails_at_its_bit_proof() {
+        let pp = PedersenParams::standard();
+        let mut rng = StdRng::seed_from_u64(18);
+        let proof = forge_one_hot(&pp, &[0, 0, 2, 0], &mut rng);
+        assert_eq!(
+            verify_one_hot_detailed(&pp, &proof),
+            Err(OneHotVerifyError::BitProof(2))
+        );
+    }
+
+    #[test]
+    fn forging_a_genuinely_one_hot_vector_yields_a_valid_proof() {
+        // Sanity: the forgery only "succeeds" when the statement is
+        // actually true, i.e. it grants the cheater nothing.
+        let pp = PedersenParams::standard();
+        let mut rng = StdRng::seed_from_u64(19);
+        let proof = forge_one_hot(&pp, &[0, 1, 0], &mut rng);
+        assert_eq!(verify_one_hot_detailed(&pp, &proof), Ok(()));
+    }
+
+    #[test]
+    fn honest_adversary_is_a_no_op() {
+        let adv = HonestAdversary;
+        assert_eq!(adv.device_behavior(3), DeviceBehavior::Honest);
+        assert_eq!(adv.committee_behavior(0, 4), CommitteeBehavior::Honest);
+    }
+
+    #[test]
+    fn expected_classes_cover_the_catalog() {
+        assert_eq!(DeviceBehavior::Honest.expected_class(true), None);
+        assert_eq!(
+            DeviceBehavior::OutOfRangeValue.expected_class(false),
+            Some(DetectionClass::RangeProofMissing)
+        );
+        assert_eq!(
+            DeviceBehavior::WrongBgvCiphertext.expected_class(true),
+            Some(DetectionClass::CiphertextMismatch)
+        );
+        assert_eq!(
+            CommitteeBehavior::EquivocateCommit.expected_class(),
+            Some(DetectionClass::VsrEquivocation)
+        );
+        assert_eq!(CommitteeBehavior::Honest.expected_class(), None);
+    }
+}

@@ -13,6 +13,7 @@ use arboretum_bgv::{
     decrypt as bgv_decrypt, encode_coeffs, encrypt as bgv_encrypt, keygen as bgv_keygen,
     BgvContext, BgvParams, Ciphertext,
 };
+use arboretum_crypto::group::Scalar;
 use arboretum_crypto::pedersen::PedersenParams;
 use arboretum_crypto::schnorr::{verify as schnorr_verify, Signature};
 use arboretum_crypto::sha256::{sha256, Digest};
@@ -28,16 +29,23 @@ use arboretum_planner::logical::LogicalPlan;
 use arboretum_planner::plan::{PhysOp, Plan};
 use arboretum_sortition::select::{select_committees, Registry};
 use arboretum_vsr::{
-    combine_batches, feldman_share, reconstruct as vsr_reconstruct, redistribute_share,
+    combine_batches, combine_batches_detailed, feldman_share, reconstruct as vsr_reconstruct,
+    redistribute_share, BatchRejectReason, VShare,
 };
-use arboretum_zkp::onehot::{prove_one_hot, verify_one_hot, OneHotProof};
-use arboretum_zkp::range::{prove_range, verify_range};
+use arboretum_zkp::onehot::{
+    prove_one_hot, verify_one_hot_detailed, OneHotProof, OneHotVerifyError,
+};
+use arboretum_zkp::range::{prove_range, verify_range_detailed, RangeVerifyError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::adversary::{
+    ciphertext_digest, forge_one_hot, Adversary, CommitteeBehavior, Detection, DetectionKind,
+    DeviceBehavior, Subject,
+};
 use crate::audit::{audit, challenges_per_device, StepLog};
 use crate::mpc_eval::{MVal, MechStyle, MpcEvaluator};
 
@@ -206,12 +214,21 @@ impl QueryCert {
 
     /// Verifies every member signature against the registry.
     pub fn verify(&self, registry: &Registry) -> bool {
+        !self.signatures.is_empty() && self.verify_detailed(registry).is_empty()
+    }
+
+    /// Verifies every member signature, returning the positions (within
+    /// [`Self::signatures`]) whose signatures do not check out.
+    pub fn verify_detailed(&self, registry: &Registry) -> Vec<usize> {
         let body = self.body();
-        !self.signatures.is_empty()
-            && self
-                .signatures
-                .iter()
-                .all(|(idx, sig)| schnorr_verify(&registry.device(*idx).keypair.pk, &body, sig))
+        self.signatures
+            .iter()
+            .enumerate()
+            .filter(|(_, (idx, sig))| {
+                !schnorr_verify(&registry.device(*idx).keypair.pk, &body, sig)
+            })
+            .map(|(pos, _)| pos)
+            .collect()
     }
 }
 
@@ -295,6 +312,16 @@ impl ExecutionReport {
     }
 }
 
+/// An [`ExecutionReport`] plus the typed detections an adversarial run
+/// produced.
+#[derive(Clone, Debug)]
+pub struct AdversarialReport {
+    /// The ordinary execution report over the surviving inputs.
+    pub report: ExecutionReport,
+    /// Every rejection, attributed to its subject.
+    pub detections: Vec<Detection>,
+}
+
 /// Executes a plan on a deployment.
 ///
 /// # Errors
@@ -306,7 +333,42 @@ pub fn execute(
     deployment: &Deployment,
     cfg: &ExecutionConfig,
 ) -> Result<ExecutionReport, ExecError> {
+    execute_inner(plan, logical, deployment, cfg, None).map(|(report, _)| report)
+}
+
+/// Executes a plan with an [`Adversary`] injecting Byzantine behaviors
+/// at every attacker-controllable point, collecting a typed
+/// [`Detection`] for each rejection.
+///
+/// The honest path through the executor is byte-identical to
+/// [`execute`]; the adversary is only consulted where a real deployment
+/// would receive attacker-controlled bytes.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on budget exhaustion or protocol failures
+/// (e.g. when the adversary corrupts more committee members than the
+/// threshold tolerates).
+pub fn execute_with_adversary(
+    plan: &Plan,
+    logical: &LogicalPlan,
+    deployment: &Deployment,
+    cfg: &ExecutionConfig,
+    adversary: &dyn Adversary,
+) -> Result<AdversarialReport, ExecError> {
+    execute_inner(plan, logical, deployment, cfg, Some(adversary))
+        .map(|(report, detections)| AdversarialReport { report, detections })
+}
+
+fn execute_inner(
+    plan: &Plan,
+    logical: &LogicalPlan,
+    deployment: &Deployment,
+    cfg: &ExecutionConfig,
+    adversary: Option<&dyn Adversary>,
+) -> Result<(ExecutionReport, Vec<Detection>), ExecError> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut detections: Vec<Detection> = Vec::new();
     let categories = deployment.schema.row_width;
     let n = deployment.db.len();
     let m = cfg.committee_size;
@@ -375,10 +437,50 @@ pub fn execute(
         signatures: Vec::new(),
     };
     let body = cert.body();
+    // A stale body a misbehaving member might sign instead: same
+    // certificate, but carrying the *previous* beacon forward.
+    let stale_body = QueryCert {
+        next_beacon: deployment.beacon,
+        ..cert.clone()
+    }
+    .body();
     cert.signatures = committees.committees[0]
         .iter()
-        .map(|&d| (d, deployment.registry.device(d).keypair.sign(&body)))
+        .enumerate()
+        .map(|(j, &d)| {
+            let signed = match adversary {
+                Some(adv) if adv.committee_behavior(0, j) == CommitteeBehavior::StaleSignature => {
+                    &stale_body
+                }
+                _ => &body,
+            };
+            (d, deployment.registry.device(d).keypair.sign(signed))
+        })
         .collect();
+    if adversary.is_some() {
+        // The rest of the committee cross-checks the signatures before
+        // publishing: bad signers are flagged and their signatures
+        // dropped, so the published certificate still verifies under
+        // the honest majority.
+        let bad = cert.verify_detailed(&deployment.registry);
+        for &pos in &bad {
+            detections.push(Detection {
+                subject: Subject::CommitteeMember {
+                    committee: 0,
+                    member: pos,
+                    device: cert.signatures[pos].0,
+                },
+                kind: DetectionKind::StaleSignature,
+            });
+        }
+        cert.signatures = cert
+            .signatures
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| !bad.contains(pos))
+            .map(|(_, s)| *s)
+            .collect();
+    }
 
     // ---- Input phase (§5.3): encrypt + prove, aggregator verifies. ----
     let pp = PedersenParams::standard();
@@ -411,38 +513,77 @@ pub fn execute(
     let malicious_flags: Vec<bool> = (0..n)
         .map(|_| rng.gen::<f64>() < cfg.malicious_fraction)
         .collect();
-    let jobs: Vec<(Vec<i64>, bool)> = deployment.db.iter().cloned().zip(malicious_flags).collect();
+    // Per-device behavior: an adversary overrides the legacy
+    // malicious-fraction draw (which maps to the same two behaviors the
+    // executor always simulated). Resolved serially up front so the
+    // parallel proving closure stays a pure function of `(index, job)`.
+    let behaviors: Vec<DeviceBehavior> = (0..n)
+        .map(|i| match adversary {
+            Some(adv) => adv.device_behavior(i),
+            None if malicious_flags[i] => {
+                if one_hot_schema {
+                    DeviceBehavior::TruncatedProof
+                } else {
+                    DeviceBehavior::OutOfRangeValue
+                }
+            }
+            None => DeviceBehavior::Honest,
+        })
+        .collect();
+    let jobs: Vec<(Vec<i64>, DeviceBehavior)> = deployment
+        .db
+        .iter()
+        .cloned()
+        .zip(behaviors.iter().copied())
+        .collect();
     let jobs = Arc::new(jobs);
     let (schema_lo, schema_hi) = (deployment.schema.lo, deployment.schema.hi);
     let upload_seed = cfg.seed ^ upload_tag();
-    let uploads: Vec<Upload> =
-        par_map_arc_sharded(&shard_set, &jobs, move |i, (row, is_malicious)| {
-            let mut dev_rng =
-                StdRng::seed_from_u64(upload_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let bits: Vec<u64> = row.iter().map(|&v| v as u64).collect();
-            if !one_hot_schema {
-                // Numerical inputs: per-field range proofs (§5.3's
-                // "1,000 years old" defense).
-                let effective_row: Vec<i64> = if *is_malicious {
-                    row.iter()
-                        .map(|&v| v + (schema_hi - schema_lo + 1))
-                        .collect()
-                } else {
-                    row.clone()
-                };
-                let proofs: Option<Vec<_>> = effective_row
-                    .iter()
-                    .map(|&v| {
-                        let shifted = v.checked_sub(schema_lo).filter(|&s| s >= 0)? as u64;
-                        prove_range(&pp, shifted, range_bits, &mut dev_rng)
-                            .ok()
-                            .map(|(p, _)| p)
-                    })
-                    .collect();
-                let vals: Vec<u64> = effective_row.iter().map(|&v| v as u64).collect();
-                return Upload::Ranges { vals, proofs };
+    let uploads: Vec<Upload> = par_map_arc_sharded(&shard_set, &jobs, move |i, (row, behavior)| {
+        let mut dev_rng =
+            StdRng::seed_from_u64(upload_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let bits: Vec<u64> = row.iter().map(|&v| v as u64).collect();
+        if !one_hot_schema {
+            // Numerical inputs: per-field range proofs (§5.3's
+            // "1,000 years old" defense).
+            let effective_row: Vec<i64> = if *behavior == DeviceBehavior::OutOfRangeValue {
+                row.iter()
+                    .map(|&v| v + (schema_hi - schema_lo + 1))
+                    .collect()
+            } else {
+                row.clone()
+            };
+            let mut proofs: Option<Vec<_>> = effective_row
+                .iter()
+                .map(|&v| {
+                    let shifted = v.checked_sub(schema_lo).filter(|&s| s >= 0)? as u64;
+                    prove_range(&pp, shifted, range_bits, &mut dev_rng)
+                        .ok()
+                        .map(|(p, _)| p)
+                })
+                .collect();
+            match behavior {
+                DeviceBehavior::TamperSigmaProof => {
+                    if let Some(bp) = proofs
+                        .as_mut()
+                        .and_then(|ps| ps.first_mut())
+                        .and_then(|p| p.bit_proofs.first_mut())
+                    {
+                        bp.z0 += Scalar::ONE;
+                    }
+                }
+                DeviceBehavior::MalformedOneHot | DeviceBehavior::TruncatedProof => {
+                    if let Some(ps) = proofs.as_mut() {
+                        ps.pop();
+                    }
+                }
+                _ => {}
             }
-            if *is_malicious {
+            let vals: Vec<u64> = effective_row.iter().map(|&v| v as u64).collect();
+            return Upload::Ranges { vals, proofs };
+        }
+        match behavior {
+            DeviceBehavior::TruncatedProof => {
                 // Malformed input: claims two categories at once.
                 let mut bad = bits.clone();
                 if let Some(slot) = bad.iter_mut().find(|b| **b == 0) {
@@ -459,11 +600,49 @@ pub fn execute(
                         p
                     }),
                 }
-            } else {
+            }
+            DeviceBehavior::TamperSigmaProof => {
+                let p = prove_one_hot(&pp, &bits, &mut dev_rng).ok().map(|mut p| {
+                    if let Some(bp) = p.bit_proofs.first_mut() {
+                        bp.z0 += Scalar::ONE;
+                    }
+                    p
+                });
+                Upload::OneHot { bits, proof: p }
+            }
+            DeviceBehavior::MalformedOneHot => {
+                // Claims two categories with a best-effort forged
+                // proof: every coordinate is still a bit, so the
+                // first failure is the coordinate-sum proof.
+                let mut bad = bits.clone();
+                if let Some(slot) = bad.iter_mut().find(|b| **b == 0) {
+                    *slot = 1;
+                }
+                let proof = forge_one_hot(&pp, &bad, &mut dev_rng);
+                Upload::OneHot {
+                    bits: bad,
+                    proof: Some(proof),
+                }
+            }
+            DeviceBehavior::OutOfRangeValue => {
+                // Claims a coordinate of 2; the forged bit proof at
+                // the hot coordinate cannot verify.
+                let mut bad = bits.clone();
+                if let Some(slot) = bad.iter_mut().find(|b| **b == 1) {
+                    *slot = 2;
+                }
+                let proof = forge_one_hot(&pp, &bad, &mut dev_rng);
+                Upload::OneHot {
+                    bits: bad,
+                    proof: Some(proof),
+                }
+            }
+            DeviceBehavior::Honest | DeviceBehavior::WrongBgvCiphertext => {
                 let p = prove_one_hot(&pp, &bits, &mut dev_rng).ok();
                 Upload::OneHot { bits, proof: p }
             }
-        });
+        }
+    });
 
     // Phase B (parallel, pure): the aggregator verifies every proof
     // across the device shards. Verification touches no RNG and the
@@ -472,12 +651,40 @@ pub fn execute(
     let uploads = Arc::new(uploads);
     let verify_ops = uploads.len() as u64;
     let verify_before = shard_set.stats();
-    let verdicts: Vec<bool> =
+    // `None` = accept; `Some(kind)` = reject for that typed reason. The
+    // accept/reject partition is identical to the old boolean verdicts:
+    // every code path that returned `false` now returns a kind.
+    let verdicts: Vec<Option<DetectionKind>> =
         par_map_arc_sharded(&shard_set, &uploads, move |_, upload| match upload {
-            Upload::OneHot { proof, .. } => proof.as_ref().is_some_and(|p| verify_one_hot(&pp, p)),
-            Upload::Ranges { proofs, .. } => proofs
-                .as_ref()
-                .is_some_and(|ps| ps.iter().all(|p| verify_range(&pp, p, range_bits))),
+            Upload::OneHot { proof, .. } => match proof {
+                None => Some(DetectionKind::OneHotStructure),
+                Some(p) => match verify_one_hot_detailed(&pp, p) {
+                    Ok(()) => None,
+                    Err(OneHotVerifyError::Structure) => Some(DetectionKind::OneHotStructure),
+                    Err(OneHotVerifyError::BitProof(index)) => {
+                        Some(DetectionKind::OneHotBitProof { index })
+                    }
+                    Err(OneHotVerifyError::SumProof) => Some(DetectionKind::OneHotSumProof),
+                },
+            },
+            Upload::Ranges { vals, proofs } => {
+                match proofs {
+                    None => Some(DetectionKind::RangeProofMissing),
+                    Some(ps) if ps.len() != vals.len() => Some(DetectionKind::RangeStructure),
+                    Some(ps) => ps.iter().enumerate().find_map(|(field, p)| {
+                        match verify_range_detailed(&pp, p, range_bits) {
+                            Ok(()) => None,
+                            Err(RangeVerifyError::Structure) => Some(DetectionKind::RangeStructure),
+                            Err(RangeVerifyError::Binding) => {
+                                Some(DetectionKind::RangeBinding { field })
+                            }
+                            Err(RangeVerifyError::BitProof(index)) => {
+                                Some(DetectionKind::RangeBitProof { field, index })
+                            }
+                        }
+                    }),
+                }
+            }
         });
     let verify_pool: Vec<PoolStats> = shard_set
         .stats()
@@ -488,9 +695,15 @@ pub fn execute(
 
     // Phase C (serial, draws randomness): accepted devices go through
     // the sampling decision (§6's secrecy of the sample) and encrypt.
-    for (i, (upload, ok)) in uploads.iter().zip(&verdicts).enumerate() {
-        if !ok {
+    for (i, (upload, verdict)) in uploads.iter().zip(&verdicts).enumerate() {
+        if let Some(kind) = verdict {
             rejected += 1;
+            if adversary.is_some() {
+                detections.push(Detection {
+                    subject: Subject::Device(i),
+                    kind: kind.clone(),
+                });
+            }
             continue;
         }
         if let Some(phi) = logical.certificate.sampling_rate {
@@ -505,6 +718,25 @@ pub fn execute(
         };
         let msg = encode_coeffs(&ctx, vals).map_err(|e| ExecError::Unsupported(e.to_string()))?;
         let ct = bgv_encrypt(&ctx, &pk, &msg, &mut rng);
+        if adversary.is_some() && behaviors[i] == DeviceBehavior::WrongBgvCiphertext {
+            // The validated upload binds the device to `vals`; this
+            // device instead submits a ciphertext of different data.
+            // The aggregator cross-checks the digest of the submitted
+            // ciphertext against the one recomputed from the upload.
+            let mut wrong = vals.clone();
+            wrong[0] = wrong[0].wrapping_add(1);
+            let wrong_msg =
+                encode_coeffs(&ctx, &wrong).map_err(|e| ExecError::Unsupported(e.to_string()))?;
+            let submitted = bgv_encrypt(&ctx, &pk, &wrong_msg, &mut rng);
+            if ciphertext_digest(&submitted) != ciphertext_digest(&ct) {
+                rejected += 1;
+                detections.push(Detection {
+                    subject: Subject::Device(i),
+                    kind: DetectionKind::CiphertextMismatch,
+                });
+                continue;
+            }
+        }
         step_results.push(format!("input-{i}-ok").into_bytes());
         accepted.push(ct);
     }
@@ -562,13 +794,61 @@ pub fn execute(
         &sk.s.iter().map(|&c| c as u8).collect::<Vec<u8>>(),
     ));
     let keygen_sharing = feldman_share(key_secret, t, m, &mut rng);
-    let batches: Vec<_> = keygen_sharing
-        .shares
-        .iter()
-        .map(|s| redistribute_share(s, t, m, &mut rng))
-        .collect();
-    let dec_shares = combine_batches(&batches, &keygen_sharing.commitments, t, m)
-        .map_err(|e| ExecError::KeyTransfer(e.to_string()))?;
+    let dec_shares = if let Some(adv) = adversary {
+        // Keygen-committee member `j` redistributes share `j`; corrupt
+        // members either re-share a wrong value (equivocation, caught
+        // by the constant-term check) or publish an inconsistent batch
+        // (caught by per-subshare Feldman verification).
+        let batches: Vec<_> = keygen_sharing
+            .shares
+            .iter()
+            .enumerate()
+            .map(|(j, s)| match adv.committee_behavior(0, j) {
+                CommitteeBehavior::EquivocateCommit => {
+                    let lie = VShare {
+                        x: s.x,
+                        y: s.y + Scalar::ONE,
+                    };
+                    redistribute_share(&lie, t, m, &mut rng)
+                }
+                CommitteeBehavior::InconsistentVsrShares => {
+                    let mut b = redistribute_share(s, t, m, &mut rng);
+                    b.sharing.shares[0].y += Scalar::ONE;
+                    b.sharing.shares[1].y += Scalar::ONE;
+                    b
+                }
+                _ => redistribute_share(s, t, m, &mut rng),
+            })
+            .collect();
+        let (shares, rejections) =
+            combine_batches_detailed(&batches, &keygen_sharing.commitments, t, m)
+                .map_err(|e| ExecError::KeyTransfer(e.to_string()))?;
+        for r in rejections {
+            let member = (r.from - 1) as usize;
+            detections.push(Detection {
+                subject: Subject::CommitteeMember {
+                    committee: 0,
+                    member,
+                    device: committees.committees[0][member],
+                },
+                kind: match r.reason {
+                    BatchRejectReason::WrongConstantTerm => DetectionKind::VsrEquivocation,
+                    BatchRejectReason::BadSubshares(subshares) => {
+                        DetectionKind::VsrBadSubshares { subshares }
+                    }
+                },
+            });
+        }
+        shares
+    } else {
+        let batches: Vec<_> = keygen_sharing
+            .shares
+            .iter()
+            .map(|s| redistribute_share(s, t, m, &mut rng))
+            .collect();
+        combine_batches(&batches, &keygen_sharing.commitments, t, m)
+            .map_err(|e| ExecError::KeyTransfer(e.to_string()))?
+    };
     let recovered =
         vsr_reconstruct(&dec_shares, t).map_err(|e| ExecError::KeyTransfer(e.to_string()))?;
     if recovered != key_secret {
@@ -660,21 +940,24 @@ pub fn execute(
     let per_mult_secs = 9.0e-4; // 73.8 s / ~80k mults, the §7.5 anchor.
     let mpc_elapsed_estimate_secs = mpc.net.elapsed_secs(&cfg.latency, &compute, per_mult_secs);
 
-    Ok(ExecutionReport {
-        outputs,
-        certificate: cert,
-        rejected_inputs: rejected,
-        accepted_inputs: accepted_count,
-        mpc_metrics: metrics,
-        audit_ok,
-        mpc_elapsed_estimate_secs,
-        budget_after: ledger.remaining(),
-        verify_pool,
-        verify_ops,
-        aggregate_pool,
-        aggregate_ops,
-        ring_degree: ctx.params.n as u64,
-    })
+    Ok((
+        ExecutionReport {
+            outputs,
+            certificate: cert,
+            rejected_inputs: rejected,
+            accepted_inputs: accepted_count,
+            mpc_metrics: metrics,
+            audit_ok,
+            mpc_elapsed_estimate_secs,
+            budget_after: ledger.remaining(),
+            verify_pool,
+            verify_ops,
+            aggregate_pool,
+            aggregate_ops,
+            ring_degree: ctx.params.n as u64,
+        },
+        detections,
+    ))
 }
 
 // Small helpers to derive distinct RNG stream tags without magic numbers

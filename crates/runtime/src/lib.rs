@@ -12,14 +12,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod audit;
 pub mod executor;
 pub mod mpc_eval;
 pub mod net_exec;
 pub mod session;
 
+pub use adversary::{
+    Adversary, CommitteeBehavior, Detection, DetectionClass, DetectionKind, DeviceBehavior,
+    HonestAdversary, Subject,
+};
 pub use audit::{audit, challenges_per_device, StepLog};
-pub use executor::{execute, Deployment, ExecError, ExecutionConfig, ExecutionReport, QueryCert};
+pub use executor::{
+    execute, execute_with_adversary, AdversarialReport, Deployment, ExecError, ExecutionConfig,
+    ExecutionReport, QueryCert,
+};
 pub use mpc_eval::{MVal, MechStyle, MpcEvalError, MpcEvaluator};
 pub use net_exec::{
     run_concurrent, run_concurrent_sharded, run_with_failover, NetExecConfig, NetExecError,

@@ -1,0 +1,161 @@
+//! Seed-sweep adversary suite: every malicious behavior the runtime
+//! claims to reject is injected via `arboretum-testkit` schedules and
+//! must be detected with the right typed error and attribution, with
+//! zero false positives and a surviving-set answer bitwise identical to
+//! an honest reference run.
+//!
+//! `ADVERSARY_SEEDS` widens the sweep (CI runs 16); any failing seed
+//! reproduces with `cargo run --bin arboretum -- attack --seed N` and
+//! dumps an artifact under `ADVERSARY_ARTIFACT_DIR` (default
+//! `target/adversary-failures`).
+
+use arboretum_par::ParConfig;
+use arboretum_testkit::{dump_failure_artifact, run_attack, AttackConfig};
+
+fn sweep_width() -> u64 {
+    std::env::var("ADVERSARY_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
+}
+
+fn assert_pass(cfg: &AttackConfig) {
+    let outcome = run_attack(cfg).unwrap_or_else(|e| panic!("seed {}: {e}", cfg.seed));
+    if !outcome.ok() {
+        let artifact = dump_failure_artifact(cfg, &outcome).ok();
+        panic!(
+            "seed {} failed cross-checks (artifact: {artifact:?})\n{}",
+            cfg.seed,
+            outcome.summary()
+        );
+    }
+}
+
+#[test]
+fn one_hot_seed_sweep_detects_every_injected_behavior() {
+    for seed in 0..sweep_width() {
+        assert_pass(&AttackConfig::new(seed));
+    }
+}
+
+#[test]
+fn numeric_seed_sweep_detects_every_injected_behavior() {
+    // The numeric pipeline exercises the range-proof detection family;
+    // the net phase is identical to the one-hot sweep's, so skip it.
+    for seed in 100..100 + sweep_width().min(8) {
+        assert_pass(&AttackConfig {
+            numeric: true,
+            net_phase: false,
+            ..AttackConfig::new(seed)
+        });
+    }
+}
+
+#[test]
+fn detections_and_outputs_identical_across_threads_and_shards() {
+    for seed in [3u64, 7] {
+        let base_cfg = AttackConfig {
+            net_phase: false,
+            ..AttackConfig::new(seed)
+        };
+        let base = run_attack(&base_cfg).expect("serial attack run failed");
+        assert!(base.ok(), "seed {seed} serial:\n{}", base.summary());
+        for threads in [1usize, 8] {
+            for shards in [1usize, 2] {
+                let cfg = AttackConfig {
+                    par: ParConfig::fixed(threads).with_shards(shards),
+                    ..base_cfg.clone()
+                };
+                let got = run_attack(&cfg).expect("parallel attack run failed");
+                assert!(
+                    got.ok(),
+                    "seed {seed} threads {threads} shards {shards}:\n{}",
+                    got.summary()
+                );
+                assert_eq!(
+                    got.adversarial.detections, base.adversarial.detections,
+                    "detections drifted at threads {threads} shards {shards}"
+                );
+                assert_eq!(
+                    got.adversarial.report.outputs,
+                    base.adversarial.report.outputs
+                );
+                assert_eq!(
+                    got.adversarial.report.accepted_inputs,
+                    base.adversarial.report.accepted_inputs
+                );
+                assert_eq!(
+                    got.adversarial.report.budget_after.epsilon.to_bits(),
+                    base.adversarial.report.budget_after.epsilon.to_bits()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_fatal_committees_exhaust_failover_with_typed_error() {
+    use arboretum_field::FGold;
+    use arboretum_mpc::MpcOps;
+    use arboretum_net::fault::FaultPlan;
+    use arboretum_runtime::{run_with_failover, NetExecConfig, NetExecError, NetParty};
+
+    let cfg = NetExecConfig {
+        committees: 2,
+        faults: vec![Some(FaultPlan::crash(0, 0)), Some(FaultPlan::crash(1, 0))],
+        timeout: std::time::Duration::from_millis(100),
+        ..NetExecConfig::default()
+    };
+    let res = run_with_failover(&cfg, |p: &mut NetParty| {
+        let a = p.input(0, FGold::new(1))?;
+        let b = p.input(1, FGold::new(2))?;
+        let s = p.add(&a, &b);
+        p.open_batch(&[&s])
+    });
+    match res {
+        Err(NetExecError::AllCommitteesDead { attempts }) => assert_eq!(attempts, 2),
+        other => panic!("expected AllCommitteesDead, got {other:?}"),
+    }
+}
+
+#[test]
+fn honest_adversary_leaves_no_trace() {
+    use arboretum_dp::budget::PrivacyCost;
+    use arboretum_lang::parser::parse;
+    use arboretum_lang::privacy::CertifyConfig;
+    use arboretum_planner::logical::extract;
+    use arboretum_planner::search::{plan, PlannerConfig};
+    use arboretum_runtime::{
+        execute, execute_with_adversary, Deployment, ExecutionConfig, HonestAdversary,
+    };
+
+    let assignments: Vec<usize> = (0..30).map(|i| i % 3).collect();
+    let deployment = Deployment::one_hot(&assignments, 3);
+    let program = parse("aggr = sum(db); r = em(aggr, 8.0); output(r);").unwrap();
+    let lp = extract(&program, &deployment.schema, CertifyConfig::default()).unwrap();
+    let (physical, _) = plan(&lp, &PlannerConfig::paper_defaults(1 << 30)).unwrap();
+    let cfg = ExecutionConfig {
+        seed: 5,
+        budget: PrivacyCost {
+            epsilon: 100.0,
+            delta: 1e-6,
+        },
+        ..ExecutionConfig::default()
+    };
+    let plain = execute(&physical, &lp, &deployment, &cfg).unwrap();
+    let adv = execute_with_adversary(&physical, &lp, &deployment, &cfg, &HonestAdversary).unwrap();
+    assert!(
+        adv.detections.is_empty(),
+        "false positives: {:?}",
+        adv.detections
+    );
+    assert_eq!(adv.report.outputs, plain.outputs);
+    assert_eq!(adv.report.accepted_inputs, plain.accepted_inputs);
+    assert_eq!(adv.report.rejected_inputs, 0);
+    assert_eq!(
+        adv.report.budget_after.epsilon.to_bits(),
+        plain.budget_after.epsilon.to_bits()
+    );
+    assert_eq!(adv.report.certificate.signatures.len(), cfg.committee_size);
+    assert!(adv.report.certificate.verify(&deployment.registry));
+}

@@ -1,0 +1,455 @@
+//! End-to-end attack runs with detection cross-checks.
+//!
+//! [`run_attack`] executes the full pipeline twice — once under a
+//! seed-derived [`AdversarySchedule`], once as an honest reference over
+//! only the honest devices — plus the networked MPC phase under the
+//! schedule's fault plans, and cross-checks everything the security
+//! argument promises: complete typed detection with correct
+//! attribution, zero false positives, and a surviving-set answer,
+//! budget ledger, and audit verdict bitwise identical to the honest
+//! run. Discrepancies land in [`AttackOutcome::problems`] rather than
+//! panicking, so test drivers and the `arboretum attack` CLI can both
+//! report them with full context.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use arboretum_dp::budget::PrivacyCost;
+use arboretum_field::FGold;
+use arboretum_lang::ast::DbSchema;
+use arboretum_lang::parser::parse;
+use arboretum_lang::privacy::CertifyConfig;
+use arboretum_mpc::MpcOps;
+use arboretum_par::ParConfig;
+use arboretum_planner::logical::{extract, LogicalPlan};
+use arboretum_planner::plan::Plan;
+use arboretum_planner::search::{plan as plan_physical, PlannerConfig};
+use arboretum_runtime::{
+    execute, execute_with_adversary, run_with_failover, AdversarialReport, CommitteeBehavior,
+    Deployment, DetectionClass, ExecutionConfig, ExecutionReport, NetExecConfig, NetExecReport,
+    NetParty, Subject,
+};
+use arboretum_sortition::select::select_committees;
+
+use crate::schedule::AdversarySchedule;
+
+/// Numeric-schema bounds used by the harness: ages 0..=9 per field, two
+/// fields per row, the last pinned to `hi` so the legacy out-of-range
+/// shift is guaranteed to leave the provable range.
+const NUMERIC_LO: i64 = 0;
+const NUMERIC_HI: i64 = 9;
+
+/// Configuration of one attack run.
+#[derive(Clone, Debug)]
+pub struct AttackConfig {
+    /// Seed deriving the schedule and the execution randomness.
+    pub seed: u64,
+    /// Uploading devices (must leave ≥ 25 honest for sortition).
+    pub n_devices: usize,
+    /// One-hot categories (ignored for numeric runs).
+    pub categories: usize,
+    /// Committees available to the networked MPC phase.
+    pub n_committees: usize,
+    /// Run the numeric (per-field range proof) pipeline instead of the
+    /// one-hot pipeline.
+    pub numeric: bool,
+    /// Whether to run the networked MPC failover phase (costs real
+    /// wall-clock for timeouts on faulty committees).
+    pub net_phase: bool,
+    /// Thread configuration for the aggregator's parallel phases.
+    pub par: ParConfig,
+}
+
+impl AttackConfig {
+    /// The standard sweep configuration for a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            n_devices: 48,
+            categories: 4,
+            n_committees: 3,
+            numeric: false,
+            net_phase: true,
+            par: ParConfig::serial(),
+        }
+    }
+}
+
+/// Everything one attack run produced, plus every cross-check failure.
+#[derive(Clone, Debug)]
+pub struct AttackOutcome {
+    /// The schedule that drove the run.
+    pub schedule: AdversarySchedule,
+    /// The adversarial execution and its typed detections.
+    pub adversarial: AdversarialReport,
+    /// The honest reference execution over only the honest devices.
+    pub reference: ExecutionReport,
+    /// The networked MPC phase under the schedule's fault plans.
+    pub net: Option<NetExecReport>,
+    /// The fault-free networked MPC reference.
+    pub net_reference: Option<NetExecReport>,
+    /// Every cross-check that failed, human-readable. Empty = pass.
+    pub problems: Vec<String>,
+}
+
+impl AttackOutcome {
+    /// Whether every cross-check passed.
+    pub fn ok(&self) -> bool {
+        self.problems.is_empty()
+    }
+
+    /// Transcript for CLI output and failure artifacts.
+    pub fn summary(&self) -> String {
+        let mut out = self.schedule.describe();
+        out.push_str(&format!(
+            "detections: {} (accepted {}, rejected {})\n",
+            self.adversarial.detections.len(),
+            self.adversarial.report.accepted_inputs,
+            self.adversarial.report.rejected_inputs
+        ));
+        for d in &self.adversarial.detections {
+            out.push_str(&format!("  {:?}: {:?}\n", d.subject, d.kind));
+        }
+        if let Some(net) = &self.net {
+            out.push_str(&format!(
+                "net: completed on committee {} after {} failover(s)\n",
+                net.committee,
+                net.failures.len()
+            ));
+        }
+        if self.ok() {
+            out.push_str("verdict: PASS\n");
+        } else {
+            out.push_str("verdict: FAIL\n");
+            for p in &self.problems {
+                out.push_str(&format!("  problem: {p}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Builds the deployment plus certified and planned query for a config.
+fn build_query(cfg: &AttackConfig) -> Result<(Deployment, LogicalPlan, Plan), String> {
+    let (deployment, src, certify) = if cfg.numeric {
+        let rows: Vec<Vec<i64>> = (0..cfg.n_devices)
+            .map(|i| vec![(i % 7) as i64, NUMERIC_HI])
+            .collect();
+        let schema = DbSchema::numeric(cfg.n_devices as u64, 2, NUMERIC_LO, NUMERIC_HI);
+        (
+            Deployment::from_rows(rows, schema),
+            "sketch = sum(db);\nnoised = laplace(sketch, 2, 8.0);\noutput(noised);",
+            CertifyConfig {
+                trust_declared_sensitivity: true,
+                ..CertifyConfig::default()
+            },
+        )
+    } else {
+        let assignments: Vec<usize> = (0..cfg.n_devices).map(|i| i % cfg.categories).collect();
+        (
+            Deployment::one_hot(&assignments, cfg.categories),
+            "aggr = sum(db); r = em(aggr, 8.0); output(r);",
+            CertifyConfig::default(),
+        )
+    };
+    let program = parse(src).map_err(|e| format!("parse: {e:?}"))?;
+    let lp =
+        extract(&program, &deployment.schema, certify).map_err(|e| format!("extract: {e:?}"))?;
+    let (plan, _) = plan_physical(&lp, &PlannerConfig::paper_defaults(1 << 30))
+        .map_err(|e| format!("plan: {e:?}"))?;
+    Ok((deployment, lp, plan))
+}
+
+/// The detections the schedule predicts, as `(subject, class)` pairs.
+///
+/// Committee predictions need the actual key-generation roster, since
+/// attribution names the member's registry index.
+fn expected_detections(
+    schedule: &AdversarySchedule,
+    deployment: &Deployment,
+    m: usize,
+) -> Vec<(Subject, DetectionClass)> {
+    let one_hot = deployment.schema.one_hot;
+    let mut expected: Vec<(Subject, DetectionClass)> = schedule
+        .device_behaviors
+        .iter()
+        .enumerate()
+        .filter_map(|(i, b)| Some((Subject::Device(i), b.expected_class(one_hot)?)))
+        .collect();
+    let roster =
+        &select_committees(&deployment.registry, &deployment.beacon, 1, 5, m).committees[0];
+    for (j, b) in schedule.committee_behaviors[0].iter().enumerate().take(m) {
+        if let Some(class) = b.expected_class() {
+            expected.push((
+                Subject::CommitteeMember {
+                    committee: 0,
+                    member: j,
+                    device: roster[j],
+                },
+                class,
+            ));
+        }
+    }
+    expected
+}
+
+/// Runs one full attack and cross-checks the outcome.
+///
+/// # Errors
+///
+/// Returns `Err` when a pipeline stage fails outright (planning, an
+/// execution error, or an exhausted networked-MPC failover chain) —
+/// failed *cross-checks* are reported in [`AttackOutcome::problems`]
+/// instead.
+pub fn run_attack(cfg: &AttackConfig) -> Result<AttackOutcome, String> {
+    let schedule = AdversarySchedule::new(cfg.seed, cfg.n_devices, cfg.n_committees);
+    let (deployment, lp, plan) = build_query(cfg)?;
+    let exec_cfg = ExecutionConfig {
+        seed: cfg.seed,
+        budget: PrivacyCost {
+            epsilon: 100.0,
+            delta: 1e-6,
+        },
+        par: cfg.par,
+        ..ExecutionConfig::default()
+    };
+
+    let adversarial = execute_with_adversary(&plan, &lp, &deployment, &exec_cfg, &schedule)
+        .map_err(|e| format!("adversarial run: {e}"))?;
+
+    // Honest reference: the same query over only the honest devices.
+    // The surviving-set answer must match it bitwise — rejecting the
+    // attackers is required to leave no trace on the released values.
+    let honest_rows: Vec<Vec<i64>> = deployment
+        .db
+        .iter()
+        .zip(&schedule.device_behaviors)
+        .filter(|(_, b)| **b == arboretum_runtime::DeviceBehavior::Honest)
+        .map(|(row, _)| row.clone())
+        .collect();
+    let ref_schema = if cfg.numeric {
+        DbSchema::numeric(honest_rows.len() as u64, 2, NUMERIC_LO, NUMERIC_HI)
+    } else {
+        DbSchema::one_hot(honest_rows.len() as u64, cfg.categories)
+    };
+    let ref_deployment = Deployment::from_rows(honest_rows, ref_schema);
+    let reference = execute(&plan, &lp, &ref_deployment, &exec_cfg)
+        .map_err(|e| format!("reference run: {e}"))?;
+
+    let mut problems = Vec::new();
+    cross_check_execution(
+        &schedule,
+        &deployment,
+        &exec_cfg,
+        &adversarial,
+        &reference,
+        &mut problems,
+    );
+
+    let (net, net_reference) = if cfg.net_phase {
+        run_net_phase(cfg, &schedule, &mut problems)?
+    } else {
+        (None, None)
+    };
+
+    Ok(AttackOutcome {
+        schedule,
+        adversarial,
+        reference,
+        net,
+        net_reference,
+        problems,
+    })
+}
+
+fn cross_check_execution(
+    schedule: &AdversarySchedule,
+    deployment: &Deployment,
+    exec_cfg: &ExecutionConfig,
+    adversarial: &AdversarialReport,
+    reference: &ExecutionReport,
+    problems: &mut Vec<String>,
+) {
+    // 1. Complete detection with correct typed class and attribution,
+    //    and zero false positives: the multiset of (subject, class)
+    //    pairs must equal the schedule's prediction exactly.
+    let mut expected = expected_detections(schedule, deployment, exec_cfg.committee_size);
+    expected.sort();
+    let mut got: Vec<(Subject, DetectionClass)> = adversarial
+        .detections
+        .iter()
+        .map(|d| d.classified())
+        .collect();
+    got.sort();
+    if got != expected {
+        problems.push(format!(
+            "detection mismatch:\n    expected {expected:?}\n    got      {got:?}"
+        ));
+    }
+
+    // 2. Exactly the honest devices survive input validation.
+    let n_honest = schedule.n_honest_devices();
+    let n_corrupt = schedule.corrupt_devices().len();
+    if adversarial.report.accepted_inputs != n_honest {
+        problems.push(format!(
+            "accepted {} inputs, want the {} honest devices",
+            adversarial.report.accepted_inputs, n_honest
+        ));
+    }
+    if adversarial.report.rejected_inputs != n_corrupt {
+        problems.push(format!(
+            "rejected {} inputs, want the {} corrupt devices",
+            adversarial.report.rejected_inputs, n_corrupt
+        ));
+    }
+    if reference.accepted_inputs != n_honest || reference.rejected_inputs != 0 {
+        problems.push(format!(
+            "reference run accepted {}/rejected {} — expected {n_honest}/0",
+            reference.accepted_inputs, reference.rejected_inputs
+        ));
+    }
+
+    // 3. The surviving-set answer matches the honest reference bitwise.
+    if adversarial.report.outputs != reference.outputs {
+        problems.push(format!(
+            "outputs diverge from honest reference: {:?} vs {:?}",
+            adversarial.report.outputs, reference.outputs
+        ));
+    }
+
+    // 4. The privacy ledger is untouched by the attack: same charge,
+    //    bit-for-bit.
+    let (a, r) = (&adversarial.report.budget_after, &reference.budget_after);
+    if a.epsilon.to_bits() != r.epsilon.to_bits() || a.delta.to_bits() != r.delta.to_bits() {
+        problems.push(format!("budget ledger diverged: {a:?} vs {r:?}"));
+    }
+
+    // 5. Step audits pass in both runs.
+    if !adversarial.report.audit_ok || !reference.audit_ok {
+        problems.push(format!(
+            "audit failed (adversarial {}, reference {})",
+            adversarial.report.audit_ok, reference.audit_ok
+        ));
+    }
+
+    // 6. The published certificate still verifies after the stale
+    //    signatures are dropped, with exactly the honest signers left.
+    let cert = &adversarial.report.certificate;
+    if !cert.verify(&deployment.registry) {
+        problems.push("published certificate does not verify".into());
+    }
+    let n_stale = schedule.committee_behaviors[0]
+        .iter()
+        .filter(|b| **b == CommitteeBehavior::StaleSignature)
+        .count();
+    let want_sigs = exec_cfg.committee_size - n_stale;
+    if cert.signatures.len() != want_sigs {
+        problems.push(format!(
+            "certificate carries {} signatures, want {want_sigs}",
+            cert.signatures.len()
+        ));
+    }
+}
+
+/// The networked MPC phase: a 2-input sum under the schedule's fault
+/// plans, with failover, checked against a fault-free reference.
+fn run_net_phase(
+    cfg: &AttackConfig,
+    schedule: &AdversarySchedule,
+    problems: &mut Vec<String>,
+) -> Result<(Option<NetExecReport>, Option<NetExecReport>), String> {
+    let protocol = |p: &mut NetParty| {
+        let a = p.input(0, FGold::new(20))?;
+        let b = p.input(1, FGold::new(22))?;
+        let s = p.add(&a, &b);
+        p.open_batch(&[&s])
+    };
+    let net_cfg = NetExecConfig {
+        committees: cfg.n_committees,
+        faults: schedule.fault_plans(),
+        timeout: Duration::from_millis(200),
+        ..NetExecConfig::default()
+    };
+    let net = run_with_failover(&net_cfg, protocol).map_err(|e| format!("net phase: {e:?}"))?;
+    let ref_cfg = NetExecConfig {
+        committees: cfg.n_committees,
+        faults: Vec::new(),
+        timeout: Duration::from_millis(200),
+        ..NetExecConfig::default()
+    };
+    let net_ref =
+        run_with_failover(&ref_cfg, protocol).map_err(|e| format!("net reference: {e:?}"))?;
+
+    if net.outputs != net_ref.outputs {
+        problems.push(format!(
+            "net outputs diverge: {:?} vs fault-free {:?}",
+            net.outputs, net_ref.outputs
+        ));
+    }
+    if schedule.net_faults[net.committee].is_fatal() {
+        problems.push(format!(
+            "net phase completed on committee {} whose fault {:?} should be fatal",
+            net.committee, schedule.net_faults[net.committee]
+        ));
+    }
+    for (c, err) in &net.failures {
+        if !schedule.net_faults[*c].is_fatal() {
+            problems.push(format!(
+                "committee {c} failed ({err}) under survivable fault {:?}",
+                schedule.net_faults[*c]
+            ));
+        }
+    }
+    // Failover is deterministic: same faults, same seeds, same outcome.
+    let again = run_with_failover(&net_cfg, protocol).map_err(|e| format!("net rerun: {e:?}"))?;
+    let failed: Vec<usize> = net.failures.iter().map(|(c, _)| *c).collect();
+    let failed_again: Vec<usize> = again.failures.iter().map(|(c, _)| *c).collect();
+    if again.committee != net.committee || again.outputs != net.outputs || failed_again != failed {
+        problems.push(format!(
+            "net phase not deterministic: committee {} vs {}, failures {failed:?} vs {failed_again:?}",
+            net.committee, again.committee
+        ));
+    }
+    Ok((Some(net), Some(net_ref)))
+}
+
+/// Writes a failure artifact for a non-passing outcome and returns its
+/// path. The directory comes from `ADVERSARY_ARTIFACT_DIR`, defaulting
+/// to `target/adversary-failures`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the artifact cannot be written.
+pub fn dump_failure_artifact(
+    cfg: &AttackConfig,
+    outcome: &AttackOutcome,
+) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("ADVERSARY_ARTIFACT_DIR")
+        .unwrap_or_else(|_| "target/adversary-failures".into());
+    std::fs::create_dir_all(&dir)?;
+    let path = PathBuf::from(dir).join(format!("seed-{}.txt", cfg.seed));
+    let mut body = format!(
+        "reproduce: cargo run --release --bin arboretum -- attack --seed {}{}\n\n",
+        cfg.seed,
+        if cfg.numeric { " --numeric" } else { "" }
+    );
+    body.push_str(&outcome.summary());
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_attack_run_passes_all_cross_checks() {
+        let cfg = AttackConfig {
+            net_phase: false, // the seed sweep in crates/runtime covers it
+            ..AttackConfig::new(1)
+        };
+        let outcome = run_attack(&cfg).expect("attack run failed");
+        assert!(outcome.ok(), "problems:\n{}", outcome.summary());
+        assert!(!outcome.adversarial.detections.is_empty());
+    }
+}

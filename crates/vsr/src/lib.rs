@@ -55,6 +55,16 @@ pub enum VsrError {
     },
     /// Duplicate evaluation points.
     DuplicatePoint(u64),
+    /// Too many redistribution batches failed verification, naming the
+    /// rejected old-member evaluation points.
+    BadBatches {
+        /// Evaluation points of old members whose batches were rejected.
+        rejected: Vec<u64>,
+        /// Valid batches found.
+        got: usize,
+        /// Batches required.
+        need: usize,
+    },
 }
 
 impl std::fmt::Display for VsrError {
@@ -65,6 +75,14 @@ impl std::fmt::Display for VsrError {
                 write!(f, "subshare from {from} to {to} failed verification")
             }
             Self::DuplicatePoint(x) => write!(f, "duplicate evaluation point {x}"),
+            Self::BadBatches {
+                rejected,
+                got,
+                need,
+            } => write!(
+                f,
+                "batches from old members {rejected:?} rejected; got {got} valid, need {need}"
+            ),
         }
     }
 }
@@ -185,6 +203,128 @@ pub fn redistribute_share<R: Rng + ?Sized>(
     }
 }
 
+/// Why a redistribution batch was rejected by [`verify_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchRejectReason {
+    /// The batch's constant-term commitment disagrees with `g^{y_from}`
+    /// derived from the old Feldman commitments — the old member
+    /// re-shared a value other than its share (equivocation).
+    WrongConstantTerm,
+    /// The batch's own subshares failed Feldman verification at the
+    /// listed new-member evaluation points — the member published an
+    /// internally inconsistent sharing.
+    BadSubshares(Vec<u64>),
+}
+
+impl std::fmt::Display for BatchRejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WrongConstantTerm => write!(f, "constant-term commitment mismatch"),
+            Self::BadSubshares(xs) => write!(f, "subshares at points {xs:?} failed verification"),
+        }
+    }
+}
+
+/// A rejected redistribution batch with its typed reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRejection {
+    /// The old member's evaluation point.
+    pub from: u64,
+    /// Why the batch was rejected.
+    pub reason: BatchRejectReason,
+}
+
+/// Verifies one redistribution batch against the old committee's
+/// Feldman commitments: the constant term must equal `g^{y_from}` and
+/// every subshare must verify against the batch's own commitments.
+///
+/// # Errors
+///
+/// Returns the first applicable [`BatchRejectReason`] — constant-term
+/// equivocation takes precedence over inconsistent subshares.
+pub fn verify_batch(
+    batch: &SubshareBatch,
+    old_commitments: &[GroupElem],
+) -> Result<(), BatchRejectReason> {
+    // g^{y_from} derived from the old commitments.
+    let expected = {
+        let mut acc = GroupElem::IDENTITY;
+        let mut xpow = Scalar::ONE;
+        let fx = Scalar::new(batch.from);
+        for &a in old_commitments {
+            acc = acc + a.pow(xpow);
+            xpow *= fx;
+        }
+        acc
+    };
+    if batch.sharing.commitments.first() != Some(&expected) {
+        return Err(BatchRejectReason::WrongConstantTerm);
+    }
+    let bad: Vec<u64> = batch
+        .sharing
+        .shares
+        .iter()
+        .filter(|s| !feldman_verify(s, &batch.sharing.commitments))
+        .map(|s| s.x)
+        .collect();
+    if bad.is_empty() {
+        Ok(())
+    } else {
+        Err(BatchRejectReason::BadSubshares(bad))
+    }
+}
+
+/// Combines verified subshare batches into the new committee's shares,
+/// also reporting which batches were rejected and why.
+///
+/// Same acceptance rule as [`combine_batches`]; the extra return value
+/// lists every rejected batch with a typed [`BatchRejectReason`] so the
+/// runtime can attribute misbehavior to specific old-committee members.
+///
+/// # Errors
+///
+/// Returns [`VsrError::BadBatches`] (naming the rejected old-member
+/// points) if fewer than `t_old + 1` batches survive verification.
+pub fn combine_batches_detailed(
+    batches: &[SubshareBatch],
+    old_commitments: &[GroupElem],
+    t_old: usize,
+    m_new: usize,
+) -> Result<(Vec<VShare>, Vec<BatchRejection>), VsrError> {
+    let mut valid: Vec<&SubshareBatch> = Vec::with_capacity(batches.len());
+    let mut rejections = Vec::new();
+    for b in batches {
+        match verify_batch(b, old_commitments) {
+            Ok(()) => valid.push(b),
+            Err(reason) => rejections.push(BatchRejection {
+                from: b.from,
+                reason,
+            }),
+        }
+    }
+    if valid.len() < t_old + 1 {
+        return Err(VsrError::BadBatches {
+            rejected: rejections.iter().map(|r| r.from).collect(),
+            got: valid.len(),
+            need: t_old + 1,
+        });
+    }
+    let chosen = &valid[..t_old + 1];
+    let xs: Vec<u64> = chosen.iter().map(|b| b.from).collect();
+    let lambda = lagrange_at_zero(&xs);
+    let shares = (0..m_new)
+        .map(|j| {
+            let y = chosen
+                .iter()
+                .zip(&lambda)
+                .map(|(b, &l)| b.sharing.shares[j].y * l)
+                .fold(Scalar::ZERO, |a, b| a + b);
+            VShare { x: j as u64 + 1, y }
+        })
+        .collect();
+    Ok((shares, rejections))
+}
+
 /// Combines verified subshare batches into the new committee's shares.
 ///
 /// Each new member `j` verifies its subshare from every old member
@@ -204,48 +344,12 @@ pub fn combine_batches(
     t_old: usize,
     m_new: usize,
 ) -> Result<Vec<VShare>, VsrError> {
-    // Filter batches whose constant term matches the old commitment chain
-    // and whose subshares all verify.
-    let valid: Vec<&SubshareBatch> = batches
-        .iter()
-        .filter(|b| {
-            // g^{y_from} derived from the old commitments.
-            let expected = {
-                let mut acc = GroupElem::IDENTITY;
-                let mut xpow = Scalar::ONE;
-                let fx = Scalar::new(b.from);
-                for &a in old_commitments {
-                    acc = acc + a.pow(xpow);
-                    xpow *= fx;
-                }
-                acc
-            };
-            b.sharing.commitments.first() == Some(&expected)
-                && b.sharing
-                    .shares
-                    .iter()
-                    .all(|s| feldman_verify(s, &b.sharing.commitments))
+    combine_batches_detailed(batches, old_commitments, t_old, m_new)
+        .map(|(shares, _)| shares)
+        .map_err(|e| match e {
+            VsrError::BadBatches { got, need, .. } => VsrError::NotEnoughShares { got, need },
+            other => other,
         })
-        .collect();
-    if valid.len() < t_old + 1 {
-        return Err(VsrError::NotEnoughShares {
-            got: valid.len(),
-            need: t_old + 1,
-        });
-    }
-    let chosen = &valid[..t_old + 1];
-    let xs: Vec<u64> = chosen.iter().map(|b| b.from).collect();
-    let lambda = lagrange_at_zero(&xs);
-    Ok((0..m_new)
-        .map(|j| {
-            let y = chosen
-                .iter()
-                .zip(&lambda)
-                .map(|(b, &l)| b.sharing.shares[j].y * l)
-                .fold(Scalar::ZERO, |a, b| a + b);
-            VShare { x: j as u64 + 1, y }
-        })
-        .collect())
 }
 
 /// Combines the Feldman commitments of the chosen batches into

@@ -1,0 +1,153 @@
+//! Corruption sweep for the VSR key handoff: corrupt `k` of `n`
+//! redistribution batches for every `k`, and check the dichotomy the
+//! protocol promises — below the threshold the secret survives with the
+//! corrupt members named and excluded; at or above it, the handoff
+//! fails with a typed error naming exactly the bad members.
+
+use arboretum_crypto::group::Scalar;
+use arboretum_vsr::{
+    combine_batches, combine_batches_detailed, feldman_share, reconstruct, redistribute_share,
+    verify_batch, BatchRejectReason, SubshareBatch, VShare, VsrError,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const T_OLD: usize = 2;
+const M_OLD: usize = 6;
+const T_NEW: usize = 2;
+const M_NEW: usize = 7;
+
+/// Builds `M_OLD` redistribution batches with the first `k` corrupted:
+/// even indices equivocate (re-share a wrong value), odd indices publish
+/// inconsistent subshares.
+fn corrupted_handoff(
+    k: usize,
+    seed: u64,
+) -> (
+    Scalar,
+    Vec<SubshareBatch>,
+    Vec<arboretum_crypto::group::GroupElem>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let secret = Scalar::new(0xfeed_beef ^ seed);
+    let old = feldman_share(secret, T_OLD, M_OLD, &mut rng);
+    let batches: Vec<SubshareBatch> = old
+        .shares
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            if i >= k {
+                redistribute_share(s, T_NEW, M_NEW, &mut rng)
+            } else if i % 2 == 0 {
+                let lie = VShare {
+                    x: s.x,
+                    y: s.y + Scalar::ONE,
+                };
+                redistribute_share(&lie, T_NEW, M_NEW, &mut rng)
+            } else {
+                let mut b = redistribute_share(s, T_NEW, M_NEW, &mut rng);
+                b.sharing.shares[0].y += Scalar::ONE;
+                b.sharing.shares[3].y += Scalar::ONE;
+                b
+            }
+        })
+        .collect();
+    (secret, batches, old.commitments)
+}
+
+#[test]
+fn corruption_sweep_succeeds_below_threshold_and_names_culprits_at_it() {
+    // m - (t + 1) = 3 corrupt batches are tolerable; 4+ must fail.
+    let tolerable = M_OLD - (T_OLD + 1);
+    for seed in 0..8u64 {
+        for k in 0..=M_OLD {
+            let (secret, batches, old_commitments) = corrupted_handoff(k, seed);
+            let result = combine_batches_detailed(&batches, &old_commitments, T_OLD, M_NEW);
+            if k <= tolerable {
+                let (shares, rejections) = result.unwrap_or_else(|e| {
+                    panic!("k={k} seed={seed}: handoff failed below threshold: {e}")
+                });
+                // The rejected set is exactly the corrupted batches, with
+                // the right typed reason for each corruption style.
+                let mut rejected: Vec<u64> = rejections.iter().map(|r| r.from).collect();
+                rejected.sort_unstable();
+                let expected: Vec<u64> = (1..=k as u64).collect();
+                assert_eq!(rejected, expected, "k={k} seed={seed}");
+                for r in &rejections {
+                    let i = (r.from - 1) as usize;
+                    if i.is_multiple_of(2) {
+                        assert_eq!(r.reason, BatchRejectReason::WrongConstantTerm);
+                    } else {
+                        // Inconsistent subshares at new-member points 1
+                        // and 4 (the corrupted indices 0 and 3, 1-based).
+                        assert_eq!(
+                            r.reason,
+                            BatchRejectReason::BadSubshares(vec![1, 4]),
+                            "k={k} seed={seed} member {i}"
+                        );
+                    }
+                }
+                // The surviving honest majority recovers the true secret.
+                assert_eq!(
+                    reconstruct(&shares, T_NEW).unwrap(),
+                    secret,
+                    "k={k} seed={seed}"
+                );
+            } else {
+                match result {
+                    Err(VsrError::BadBatches {
+                        rejected,
+                        got,
+                        need,
+                    }) => {
+                        assert_eq!(got, M_OLD - k, "k={k} seed={seed}");
+                        assert_eq!(need, T_OLD + 1);
+                        let mut sorted = rejected.clone();
+                        sorted.sort_unstable();
+                        assert_eq!(sorted, (1..=k as u64).collect::<Vec<_>>());
+                    }
+                    other => panic!("k={k} seed={seed}: expected BadBatches, got {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn legacy_wrapper_maps_bad_batches_to_not_enough_shares() {
+    // combine_batches keeps its historical error shape for callers that
+    // don't need attribution.
+    let (_, batches, old_commitments) = corrupted_handoff(4, 3);
+    assert!(matches!(
+        combine_batches(&batches, &old_commitments, T_OLD, M_NEW),
+        Err(VsrError::NotEnoughShares { got: 2, need: 3 })
+    ));
+}
+
+#[test]
+fn verify_batch_prefers_equivocation_over_subshare_reports() {
+    // A batch that both equivocates and is internally inconsistent is
+    // reported as equivocation — the constant-term check runs first.
+    let mut rng = StdRng::seed_from_u64(9);
+    let old = feldman_share(Scalar::new(99), T_OLD, M_OLD, &mut rng);
+    let lie = VShare {
+        x: old.shares[0].x,
+        y: old.shares[0].y + Scalar::ONE,
+    };
+    let mut batch = redistribute_share(&lie, T_NEW, M_NEW, &mut rng);
+    batch.sharing.shares[2].y += Scalar::ONE;
+    assert_eq!(
+        verify_batch(&batch, &old.commitments),
+        Err(BatchRejectReason::WrongConstantTerm)
+    );
+}
+
+#[test]
+fn honest_handoff_reports_zero_rejections() {
+    let (secret, batches, old_commitments) = corrupted_handoff(0, 21);
+    let (shares, rejections) =
+        combine_batches_detailed(&batches, &old_commitments, T_OLD, M_NEW).unwrap();
+    assert!(rejections.is_empty());
+    assert_eq!(shares.len(), M_NEW);
+    assert_eq!(reconstruct(&shares, T_NEW).unwrap(), secret);
+}

@@ -13,8 +13,8 @@ use std::sync::Arc;
 use arboretum_crypto::pedersen::PedersenParams;
 use arboretum_par::{par_map, ThreadPool};
 
-use crate::onehot::{verify_one_hot, OneHotProof};
-use crate::range::{verify_range, RangeProof};
+use crate::onehot::{verify_one_hot, verify_one_hot_detailed, OneHotProof, OneHotVerifyError};
+use crate::range::{verify_range, verify_range_detailed, RangeProof, RangeVerifyError};
 
 /// Verifies a batch of one-hot proofs in parallel, returning one
 /// verdict per proof in input order.
@@ -37,6 +37,35 @@ pub fn par_verify_ranges(
 ) -> Vec<bool> {
     let pp = Arc::new(*pp);
     par_map(pool, proofs, move |_, proof| verify_range(&pp, proof, bits))
+}
+
+/// Verifies a batch of one-hot proofs in parallel, returning a typed
+/// verdict per proof in input order. A bad proof is isolated to its own
+/// slot — the surrounding proofs still verify independently.
+pub fn par_verify_one_hot_detailed(
+    pool: &ThreadPool,
+    pp: &PedersenParams,
+    proofs: Vec<OneHotProof>,
+) -> Vec<Result<(), OneHotVerifyError>> {
+    let pp = Arc::new(*pp);
+    par_map(pool, proofs, move |_, proof| {
+        verify_one_hot_detailed(&pp, proof)
+    })
+}
+
+/// Verifies a batch of range proofs in parallel, returning a typed
+/// verdict per proof in input order. A bad proof is isolated to its own
+/// slot — the surrounding proofs still verify independently.
+pub fn par_verify_ranges_detailed(
+    pool: &ThreadPool,
+    pp: &PedersenParams,
+    proofs: Vec<RangeProof>,
+    bits: u32,
+) -> Vec<Result<(), RangeVerifyError>> {
+    let pp = Arc::new(*pp);
+    par_map(pool, proofs, move |_, proof| {
+        verify_range_detailed(&pp, proof, bits)
+    })
 }
 
 #[cfg(test)]

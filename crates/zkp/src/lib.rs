@@ -17,8 +17,15 @@ pub mod onehot;
 pub mod range;
 pub mod sigma;
 
-pub use batch::{par_verify_one_hot, par_verify_ranges};
+pub use batch::{
+    par_verify_one_hot, par_verify_one_hot_detailed, par_verify_ranges, par_verify_ranges_detailed,
+};
 pub use cost::SnarkCostModel;
-pub use onehot::{prove_one_hot, verify_one_hot, OneHotError, OneHotProof};
-pub use range::{prove_range, verify_range, RangeError, RangeProof};
+pub use onehot::{
+    prove_one_hot, verify_one_hot, verify_one_hot_detailed, OneHotError, OneHotProof,
+    OneHotVerifyError,
+};
+pub use range::{
+    prove_range, verify_range, verify_range_detailed, RangeError, RangeProof, RangeVerifyError,
+};
 pub use sigma::{prove_bit, prove_dlog, verify_bit, verify_dlog, BitProof, DlogProof};

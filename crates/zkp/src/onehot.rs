@@ -111,19 +111,57 @@ pub fn prove_one_hot<R: Rng + ?Sized>(
     })
 }
 
-/// Verifies a one-hot proof.
-pub fn verify_one_hot(pp: &PedersenParams, proof: &OneHotProof) -> bool {
+/// Why a one-hot proof failed verification, attributed to the first
+/// check that rejected it (checks run in a fixed order, so the verdict
+/// is deterministic for a given proof).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OneHotVerifyError {
+    /// Structural mismatch: empty proof or commitment/bit-proof arity
+    /// disagreement.
+    Structure,
+    /// The bit proof at the given coordinate failed.
+    BitProof(usize),
+    /// The coordinate-sum proof failed (the committed vector does not
+    /// sum to one).
+    SumProof,
+}
+
+impl std::fmt::Display for OneHotVerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Structure => write!(f, "malformed one-hot proof structure"),
+            Self::BitProof(i) => write!(f, "bit proof for coordinate {i} failed"),
+            Self::SumProof => write!(f, "coordinate-sum proof failed (sum != 1)"),
+        }
+    }
+}
+
+impl std::error::Error for OneHotVerifyError {}
+
+/// Verifies a one-hot proof, reporting *which* check failed.
+///
+/// Checks run in the same order as [`verify_one_hot`] — structure, then
+/// bit proofs in coordinate order, then the sum proof — so the reported
+/// error is the first failure, deterministically.
+///
+/// # Errors
+///
+/// Returns [`OneHotVerifyError`] naming the first failing check.
+pub fn verify_one_hot_detailed(
+    pp: &PedersenParams,
+    proof: &OneHotProof,
+) -> Result<(), OneHotVerifyError> {
     if proof.commitments.is_empty() || proof.commitments.len() != proof.bit_proofs.len() {
-        return false;
+        return Err(OneHotVerifyError::Structure);
     }
     let mut transcript = Transcript::new(b"one-hot");
     transcript.append_u64(b"len", proof.commitments.len() as u64);
     for c in &proof.commitments {
         transcript.append_point(b"c", &c.0);
     }
-    for (c, bp) in proof.commitments.iter().zip(&proof.bit_proofs) {
+    for (i, (c, bp)) in proof.commitments.iter().zip(&proof.bit_proofs).enumerate() {
         if !verify_bit(pp, c, bp, &mut transcript) {
-            return false;
+            return Err(OneHotVerifyError::BitProof(i));
         }
     }
     let d = proof
@@ -133,7 +171,15 @@ pub fn verify_one_hot(pp: &PedersenParams, proof: &OneHotProof) -> bool {
         .fold(proof.commitments[0], |acc, c| acc.add(*c))
         .0
         - pp.g;
-    verify_dlog(pp, &d, &proof.sum_proof, &mut transcript)
+    if !verify_dlog(pp, &d, &proof.sum_proof, &mut transcript) {
+        return Err(OneHotVerifyError::SumProof);
+    }
+    Ok(())
+}
+
+/// Verifies a one-hot proof.
+pub fn verify_one_hot(pp: &PedersenParams, proof: &OneHotProof) -> bool {
+    verify_one_hot_detailed(pp, proof).is_ok()
 }
 
 #[cfg(test)]

@@ -125,13 +125,53 @@ pub fn prove_range<R: Rng + ?Sized>(
     ))
 }
 
-/// Verifies a range proof for `bits`-wide values.
-pub fn verify_range(pp: &PedersenParams, proof: &RangeProof, bits: u32) -> bool {
+/// Why a range proof failed verification, attributed to the first check
+/// that rejected it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeVerifyError {
+    /// Structural mismatch: wrong number of bit commitments or proofs
+    /// for the claimed width, or zero width.
+    Structure,
+    /// The weighted product of bit commitments does not equal the value
+    /// commitment (the bits are not bound to the claimed value).
+    Binding,
+    /// The bit proof at the given position (least significant first)
+    /// failed.
+    BitProof(usize),
+}
+
+impl std::fmt::Display for RangeVerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Structure => write!(f, "malformed range proof structure"),
+            Self::Binding => write!(f, "bit commitments do not bind to the value commitment"),
+            Self::BitProof(i) => write!(f, "bit proof at position {i} failed"),
+        }
+    }
+}
+
+impl std::error::Error for RangeVerifyError {}
+
+/// Verifies a range proof, reporting *which* check failed.
+///
+/// Checks run in the same order as [`verify_range`] — structure, then
+/// the weighted-product binding, then bit proofs least-significant
+/// first — so the reported error is the first failure,
+/// deterministically.
+///
+/// # Errors
+///
+/// Returns [`RangeVerifyError`] naming the first failing check.
+pub fn verify_range_detailed(
+    pp: &PedersenParams,
+    proof: &RangeProof,
+    bits: u32,
+) -> Result<(), RangeVerifyError> {
     if proof.bit_commitments.len() != bits as usize
         || proof.bit_proofs.len() != bits as usize
         || bits == 0
     {
-        return false;
+        return Err(RangeVerifyError::Structure);
     }
     // Recompute the weighted product and match the value commitment.
     let mut acc = None::<Commitment>;
@@ -143,7 +183,7 @@ pub fn verify_range(pp: &PedersenParams, proof: &RangeProof, bits: u32) -> bool 
         });
     }
     if acc != Some(proof.commitment) {
-        return false;
+        return Err(RangeVerifyError::Binding);
     }
     let mut transcript = Transcript::new(b"range");
     transcript.append_u64(b"bits", bits as u64);
@@ -151,11 +191,22 @@ pub fn verify_range(pp: &PedersenParams, proof: &RangeProof, bits: u32) -> bool 
     for c in &proof.bit_commitments {
         transcript.append_point(b"bit", &c.0);
     }
-    proof
+    for (i, (c, bp)) in proof
         .bit_commitments
         .iter()
         .zip(&proof.bit_proofs)
-        .all(|(c, bp)| verify_bit(pp, c, bp, &mut transcript))
+        .enumerate()
+    {
+        if !verify_bit(pp, c, bp, &mut transcript) {
+            return Err(RangeVerifyError::BitProof(i));
+        }
+    }
+    Ok(())
+}
+
+/// Verifies a range proof for `bits`-wide values.
+pub fn verify_range(pp: &PedersenParams, proof: &RangeProof, bits: u32) -> bool {
+    verify_range_detailed(pp, proof, bits).is_ok()
 }
 
 #[cfg(test)]
