@@ -6,6 +6,7 @@
 //! arboretum run     <query.arb> [options]   execute on a simulated deployment
 //! arboretum corpus                          list the built-in evaluation queries
 //! arboretum attack  --seed N [options]      replay a seeded adversary schedule
+//! arboretum serve   [options]               multi-tenant service on stdin/stdout
 //!
 //! options:
 //!   --participants N      deployment size for planning        [default 2^20]
@@ -27,7 +28,23 @@
 //!   --committees C        networked-MPC committees             [default 3]
 //!   --numeric             numeric (range-proof) pipeline instead of one-hot
 //!   --no-net              skip the networked-MPC fault phase
+//!   --service             route both runs through a pre-built session
+//!                         catalog (the `serve` execution path)
+//!
+//! serve options:
+//!   --devices N           simulated deployment size            [default 48]
+//!   --categories C        one-hot categories                   [default 4]
+//!   --seed S              catalog seed                         [default 7]
+//!   --workers W           scheduler worker threads (0 = inline) [default 2]
+//!   --pool-capacity P     leasable aggregator pools            [default 2]
+//!   --open NAME:EPS:DELTA pre-open an analyst session (repeatable)
 //! ```
+//!
+//! `serve` speaks the line protocol from `arboretum-service` — `OPEN`,
+//! `SUBMIT`, `WAIT`, `RUN`, `STATUS`, `QUIT` — one request per line on
+//! stdin, one `OK`/`ERR` response per line on stdout. The catalog pays
+//! the sortition + keygen setup once at startup; every served query
+//! reports zero setup op counts.
 //!
 //! Plans, outputs, and metrics are identical at every `--threads` and
 //! `--shards` setting; the flags only change wall-clock time and which
@@ -121,10 +138,14 @@ fn next(args: &[String], i: &mut usize) -> Result<String, String> {
 /// Parses and runs `arboretum attack`: replays the seed-deterministic
 /// adversary schedule and prints the harness's cross-check verdict.
 fn attack(args: &[String]) -> ExitCode {
-    use arboretum_testkit::{dump_failure_artifact, run_attack, AttackConfig};
+    use arboretum_testkit::{
+        build_attack_catalog, dump_failure_artifact, run_attack, run_attack_on_catalog,
+        AttackConfig,
+    };
 
     let mut cfg = AttackConfig::new(0);
     let (mut threads, mut shards) = (None, None);
+    let mut service_path = false;
     let mut i = 0;
     while i < args.len() {
         let r = match args[i].as_str() {
@@ -146,6 +167,10 @@ fn attack(args: &[String]) -> ExitCode {
             }
             "--no-net" => {
                 cfg.net_phase = false;
+                Ok(())
+            }
+            "--service" => {
+                service_path = true;
                 Ok(())
             }
             "--threads" => next(args, &mut i).and_then(|v| {
@@ -176,7 +201,12 @@ fn attack(args: &[String]) -> ExitCode {
     if let Some(s) = shards {
         cfg.par = cfg.par.with_shards(s);
     }
-    match run_attack(&cfg) {
+    let result = if service_path {
+        build_attack_catalog(&cfg).and_then(|catalog| run_attack_on_catalog(&cfg, &catalog))
+    } else {
+        run_attack(&cfg)
+    };
+    match result {
         Ok(outcome) => {
             println!("{}", outcome.summary());
             if outcome.ok() {
@@ -195,9 +225,109 @@ fn attack(args: &[String]) -> ExitCode {
     }
 }
 
+/// Parses and runs `arboretum serve`: stands up a session catalog over
+/// a simulated deployment and speaks the service line protocol on
+/// stdin/stdout until `QUIT` or end of input.
+fn serve(args: &[String]) -> ExitCode {
+    use arboretum::dp::budget::PrivacyCost;
+    use arboretum::service::{serve_connection, CatalogConfig, ServiceConfig, ServiceHandle};
+
+    let mut devices = 48usize;
+    let mut categories = 4usize;
+    let mut seed = 7u64;
+    let mut workers = 2usize;
+    let mut pool_capacity = 2usize;
+    let mut opens: Vec<(String, PrivacyCost)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let r = match args[i].as_str() {
+            "--devices" => next(args, &mut i).and_then(|v| {
+                devices = v.parse().map_err(|e| format!("{e}"))?;
+                Ok(())
+            }),
+            "--categories" => next(args, &mut i).and_then(|v| {
+                categories = v.parse().map_err(|e| format!("{e}"))?;
+                Ok(())
+            }),
+            "--seed" => next(args, &mut i).and_then(|v| {
+                seed = v.parse().map_err(|e| format!("{e}"))?;
+                Ok(())
+            }),
+            "--workers" => next(args, &mut i).and_then(|v| {
+                workers = v.parse().map_err(|e| format!("{e}"))?;
+                Ok(())
+            }),
+            "--pool-capacity" => next(args, &mut i).and_then(|v| {
+                pool_capacity = v.parse().map_err(|e| format!("{e}"))?;
+                Ok(())
+            }),
+            "--open" => next(args, &mut i).and_then(|v| {
+                let parts: Vec<&str> = v.split(':').collect();
+                let [name, eps, delta] = parts.as_slice() else {
+                    return Err(format!("--open wants NAME:EPS:DELTA, got {v:?}"));
+                };
+                let epsilon = eps.parse().map_err(|e| format!("{e}"))?;
+                let delta = delta.parse().map_err(|e| format!("{e}"))?;
+                opens.push((name.to_string(), PrivacyCost { epsilon, delta }));
+                Ok(())
+            }),
+            other => Err(format!("unknown serve option {other:?}")),
+        };
+        if let Err(e) = r {
+            eprintln!("{e}");
+            return usage();
+        }
+        i += 1;
+    }
+    if categories == 0 || devices == 0 {
+        eprintln!("--devices and --categories must be positive");
+        return ExitCode::FAILURE;
+    }
+
+    let assignments: Vec<usize> = (0..devices).map(|i| i % categories).collect();
+    let deployment = Deployment::one_hot(&assignments, categories);
+    let catalog = CatalogConfig {
+        seed,
+        ..CatalogConfig::default()
+    };
+    let handle = match ServiceHandle::start(
+        deployment,
+        ServiceConfig {
+            catalog,
+            workers,
+            pool_capacity,
+        },
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("catalog setup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (name, allotment) in &opens {
+        if let Err(e) = handle.open_session(name, *allotment) {
+            eprintln!("cannot open session {name:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let s = handle.setup_counters();
+    eprintln!(
+        "serving {devices} devices x {categories} categories (seed {seed}, {workers} worker(s)); \
+         setup paid once: {} committees, {} keygen, {} keygen-MPC rounds",
+        s.sortition_committees, s.keygen_ops, s.keygen_mpc_rounds
+    );
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    if let Err(e) = serve_connection(&handle, stdin.lock(), stdout.lock()) {
+        eprintln!("connection error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: arboretum <certify|plan|run|corpus|attack> [query-file] [options]\n\
+        "usage: arboretum <certify|plan|run|corpus|attack|serve> [query-file] [options]\n\
          run `arboretum corpus` to list built-in queries; a query file\n\
          contains the Figure 2 language, e.g.:\n\
          \n\
@@ -231,6 +361,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "attack" => attack(&args[1..]),
+        "serve" => serve(&args[1..]),
         "certify" | "plan" | "run" => {
             let Some(path) = args.get(1) else {
                 return usage();

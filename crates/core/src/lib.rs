@@ -29,9 +29,9 @@
 //! ```
 //!
 //! The subsystem crates are re-exported under their topic names:
-//! [`lang`], [`planner`], [`runtime`], [`bgv`], [`mpc`], [`net`],
-//! [`zkp`], [`sortition`], [`vsr`], [`dp`], [`crypto`], [`field`], and
-//! the evaluation [`queries`].
+//! [`lang`], [`planner`], [`runtime`], [`service`], [`bgv`], [`mpc`],
+//! [`net`], [`zkp`], [`sortition`], [`vsr`], [`dp`], [`crypto`],
+//! [`field`], and the evaluation [`queries`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +47,7 @@ pub use arboretum_par as par;
 pub use arboretum_planner as planner;
 pub use arboretum_queries as queries;
 pub use arboretum_runtime as runtime;
+pub use arboretum_service as service;
 pub use arboretum_sortition as sortition;
 pub use arboretum_vsr as vsr;
 pub use arboretum_zkp as zkp;

@@ -138,13 +138,14 @@ impl BudgetLedger {
             && cost.delta <= self.remaining.delta
     }
 
-    /// Applies a charge.
+    /// Checks a charge without applying it, with the typed reason a
+    /// [`Self::charge`] of the same cost would fail for.
     ///
     /// # Errors
     ///
     /// Returns [`BudgetError`] if the charge is negative or exceeds the
-    /// remaining budget; the ledger is unchanged on error.
-    pub fn charge(&mut self, cost: PrivacyCost) -> Result<(), BudgetError> {
+    /// remaining budget. The ledger is never mutated.
+    pub fn check(&self, cost: PrivacyCost) -> Result<(), BudgetError> {
         if cost.epsilon < 0.0 || cost.delta < 0.0 {
             return Err(BudgetError::NegativeCharge);
         }
@@ -160,9 +161,148 @@ impl BudgetLedger {
                 remaining: self.remaining.delta,
             });
         }
+        Ok(())
+    }
+
+    /// Applies a charge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetError`] if the charge is negative or exceeds the
+    /// remaining budget; the ledger is unchanged on error.
+    pub fn charge(&mut self, cost: PrivacyCost) -> Result<(), BudgetError> {
+        self.check(cost)?;
         self.remaining.epsilon -= cost.epsilon;
         self.remaining.delta -= cost.delta;
         self.spent = self.spent.compose(cost);
+        Ok(())
+    }
+}
+
+/// Errors from a [`LedgerBook`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerBookError {
+    /// No ledger is open for the named analyst.
+    UnknownAnalyst(String),
+    /// A ledger is already open for the named analyst.
+    DuplicateAnalyst(String),
+    /// The analyst's own ledger refused the charge.
+    Analyst {
+        /// The analyst whose ledger refused.
+        analyst: String,
+        /// The underlying refusal.
+        source: BudgetError,
+    },
+    /// The deployment-wide ledger refused the charge: the analyst could
+    /// afford it, but the population's total loss cap could not.
+    Deployment(BudgetError),
+}
+
+impl std::fmt::Display for LedgerBookError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownAnalyst(a) => write!(f, "no ledger open for analyst {a:?}"),
+            Self::DuplicateAnalyst(a) => write!(f, "ledger already open for analyst {a:?}"),
+            Self::Analyst { analyst, source } => {
+                write!(f, "analyst {analyst:?} budget refused: {source}")
+            }
+            Self::Deployment(source) => write!(f, "deployment-wide budget refused: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerBookError {}
+
+/// Per-analyst budget ledgers plus a deployment-wide ledger, composed
+/// sequentially across analysts.
+///
+/// This is the cross-session composition the multi-tenant service
+/// enforces: each analyst has a private allotment, and every charge is
+/// *also* composed into the deployment ledger, because the device
+/// population's total privacy loss is the sequential composition of
+/// every analyst's queries regardless of who submitted them. A charge
+/// succeeds only if both ledgers can afford it; on refusal *neither*
+/// ledger moves — charging is all-or-nothing, so a rejected query
+/// leaves the book bitwise identical to before the submission.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LedgerBook {
+    deployment: BudgetLedger,
+    analysts: std::collections::BTreeMap<String, BudgetLedger>,
+}
+
+impl LedgerBook {
+    /// Opens a book with the given deployment-wide budget and no
+    /// analyst ledgers.
+    pub fn new(deployment_total: PrivacyCost) -> Self {
+        Self {
+            deployment: BudgetLedger::new(deployment_total),
+            analysts: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Opens a ledger for `analyst` with the given allotment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerBookError::DuplicateAnalyst`] if the analyst
+    /// already has a ledger.
+    pub fn open(&mut self, analyst: &str, allotment: PrivacyCost) -> Result<(), LedgerBookError> {
+        if self.analysts.contains_key(analyst) {
+            return Err(LedgerBookError::DuplicateAnalyst(analyst.to_string()));
+        }
+        self.analysts
+            .insert(analyst.to_string(), BudgetLedger::new(allotment));
+        Ok(())
+    }
+
+    /// The deployment-wide ledger.
+    pub fn deployment(&self) -> &BudgetLedger {
+        &self.deployment
+    }
+
+    /// The named analyst's ledger, if open.
+    pub fn analyst(&self, analyst: &str) -> Option<&BudgetLedger> {
+        self.analysts.get(analyst)
+    }
+
+    /// Checks whether a charge for `analyst` would succeed, without
+    /// mutating anything.
+    ///
+    /// # Errors
+    ///
+    /// The same errors [`Self::charge`] would return.
+    pub fn check(&self, analyst: &str, cost: PrivacyCost) -> Result<(), LedgerBookError> {
+        let ledger = self
+            .analysts
+            .get(analyst)
+            .ok_or_else(|| LedgerBookError::UnknownAnalyst(analyst.to_string()))?;
+        ledger
+            .check(cost)
+            .map_err(|source| LedgerBookError::Analyst {
+                analyst: analyst.to_string(),
+                source,
+            })?;
+        self.deployment
+            .check(cost)
+            .map_err(LedgerBookError::Deployment)
+    }
+
+    /// Charges `cost` to `analyst`'s ledger *and* the deployment ledger,
+    /// all-or-nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerBookError`] if the analyst is unknown or either
+    /// ledger cannot afford the charge; the whole book is unchanged on
+    /// error.
+    pub fn charge(&mut self, analyst: &str, cost: PrivacyCost) -> Result<(), LedgerBookError> {
+        self.check(analyst, cost)?;
+        self.analysts
+            .get_mut(analyst)
+            .expect("checked above")
+            .charge(cost)
+            .expect("checked above");
+        self.deployment.charge(cost).expect("checked above");
         Ok(())
     }
 }
@@ -241,5 +381,80 @@ mod tests {
             l.charge(PrivacyCost::pure(-0.1)).unwrap_err(),
             BudgetError::NegativeCharge
         );
+    }
+
+    #[test]
+    fn check_agrees_with_charge_and_never_mutates() {
+        let l = BudgetLedger::new(PrivacyCost {
+            epsilon: 1.0,
+            delta: 1e-8,
+        });
+        let before = l.clone();
+        assert!(l.check(PrivacyCost::pure(0.5)).is_ok());
+        assert_eq!(
+            l.check(PrivacyCost::pure(1.5)).unwrap_err(),
+            l.clone().charge(PrivacyCost::pure(1.5)).unwrap_err()
+        );
+        assert_eq!(l, before);
+    }
+
+    #[test]
+    fn ledger_book_charges_both_ledgers() {
+        let mut book = LedgerBook::new(PrivacyCost {
+            epsilon: 2.0,
+            delta: 1e-6,
+        });
+        book.open("alice", PrivacyCost::pure(1.0)).unwrap();
+        book.open("bob", PrivacyCost::pure(1.0)).unwrap();
+        assert_eq!(
+            book.open("alice", PrivacyCost::pure(1.0)).unwrap_err(),
+            LedgerBookError::DuplicateAnalyst("alice".into())
+        );
+        book.charge("alice", PrivacyCost::pure(0.4)).unwrap();
+        assert!((book.analyst("alice").unwrap().spent().epsilon - 0.4).abs() < 1e-12);
+        assert_eq!(book.analyst("bob").unwrap().spent().epsilon, 0.0);
+        assert!((book.deployment().spent().epsilon - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_book_rejection_is_all_or_nothing() {
+        let mut book = LedgerBook::new(PrivacyCost {
+            epsilon: 10.0,
+            delta: 1e-6,
+        });
+        book.open("alice", PrivacyCost::pure(0.5)).unwrap();
+        let before = book.clone();
+        let err = book.charge("alice", PrivacyCost::pure(0.7)).unwrap_err();
+        assert!(matches!(
+            err,
+            LedgerBookError::Analyst {
+                source: BudgetError::EpsilonExhausted { .. },
+                ..
+            }
+        ));
+        assert_eq!(book, before);
+        assert_eq!(
+            book.charge("mallory", PrivacyCost::pure(0.1)).unwrap_err(),
+            LedgerBookError::UnknownAnalyst("mallory".into())
+        );
+        assert_eq!(book, before);
+    }
+
+    #[test]
+    fn ledger_book_deployment_cap_binds_across_analysts() {
+        // Each analyst can individually afford 0.8, but the deployment
+        // cap of 1.0 composes sequentially across both.
+        let mut book = LedgerBook::new(PrivacyCost::pure(1.0));
+        book.open("alice", PrivacyCost::pure(0.8)).unwrap();
+        book.open("bob", PrivacyCost::pure(0.8)).unwrap();
+        book.charge("alice", PrivacyCost::pure(0.8)).unwrap();
+        let before = book.clone();
+        let err = book.charge("bob", PrivacyCost::pure(0.8)).unwrap_err();
+        assert!(matches!(err, LedgerBookError::Deployment(_)));
+        assert_eq!(book, before);
+        // Bob can still spend exactly what the deployment has left.
+        let left = book.deployment().remaining().epsilon;
+        assert!(left > 0.19);
+        book.charge("bob", PrivacyCost::pure(left)).unwrap();
     }
 }

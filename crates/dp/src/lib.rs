@@ -20,7 +20,7 @@ pub mod noise;
 pub mod sampling;
 pub mod sketch;
 
-pub use budget::{BudgetError, BudgetLedger, PrivacyCost};
+pub use budget::{BudgetError, BudgetLedger, LedgerBook, LedgerBookError, PrivacyCost};
 pub use mechanisms::{
     em_exponentiate, em_gumbel, em_with_gap, laplace_mechanism, top_k_oneshot, MechanismError,
 };

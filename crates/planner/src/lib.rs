@@ -16,12 +16,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cost;
 pub mod encryption;
 pub mod logical;
 pub mod plan;
 pub mod search;
 
+pub use cache::{CachedPlan, PlanCache, PlanCacheError, QuerySignature};
 pub use cost::{CostModel, Goal, Limits, Metrics};
 pub use encryption::{validate as validate_encryption, EncryptionError};
 pub use logical::{extract, ExtractError, LogicalOp, LogicalPlan, MechanismKind};

@@ -9,10 +9,7 @@
 //! costs come from the planner's cost model, exactly mirroring the
 //! paper's benchmark-then-extrapolate methodology (§7.1).
 
-use arboretum_bgv::{
-    decrypt as bgv_decrypt, encode_coeffs, encrypt as bgv_encrypt, keygen as bgv_keygen,
-    BgvContext, BgvParams, Ciphertext,
-};
+use arboretum_bgv::{decrypt as bgv_decrypt, encode_coeffs, encrypt as bgv_encrypt, Ciphertext};
 use arboretum_crypto::group::Scalar;
 use arboretum_crypto::pedersen::PedersenParams;
 use arboretum_crypto::schnorr::{verify as schnorr_verify, Signature};
@@ -23,11 +20,11 @@ use arboretum_lang::ast::DbSchema;
 use arboretum_mpc::engine::MpcEngine;
 use arboretum_mpc::fixp::{inject_with_cost, FunctionalityCost};
 use arboretum_mpc::network::NetMetrics;
-use arboretum_par::{par_map_arc_sharded, ParConfig, PoolStats};
+use arboretum_par::{par_map_arc_sharded, ParConfig, PoolStats, ShardedPool};
 use arboretum_planner::cost::PoolCalibration;
 use arboretum_planner::logical::LogicalPlan;
 use arboretum_planner::plan::{PhysOp, Plan};
-use arboretum_sortition::select::{select_committees, Registry};
+use arboretum_sortition::select::Registry;
 use arboretum_vsr::{
     combine_batches, combine_batches_detailed, feldman_share, reconstruct as vsr_reconstruct,
     redistribute_share, BatchRejectReason, VShare,
@@ -48,6 +45,7 @@ use crate::adversary::{
 };
 use crate::audit::{audit, challenges_per_device, StepLog};
 use crate::mpc_eval::{MVal, MechStyle, MpcEvaluator};
+use crate::setup::{build_session_setup, SessionSetup, SetupCounters};
 
 /// Finds the top-level aggregation statement `var = sum(<db view>)`,
 /// returning the bound variable name and the index of the statement
@@ -294,6 +292,10 @@ pub struct ExecutionReport {
     pub aggregate_ops: u64,
     /// Ring degree the aggregation ran at.
     pub ring_degree: u64,
+    /// Fixed-cost setup work this execution performed itself. All-zero
+    /// when the execution ran against a cached [`SessionSetup`] (the
+    /// session-catalog path): sortition and keygen were amortized.
+    pub setup: SetupCounters,
 }
 
 impl ExecutionReport {
@@ -333,7 +335,36 @@ pub fn execute(
     deployment: &Deployment,
     cfg: &ExecutionConfig,
 ) -> Result<ExecutionReport, ExecError> {
-    execute_inner(plan, logical, deployment, cfg, None).map(|(report, _)| report)
+    execute_inner(plan, logical, deployment, cfg, None, None, None).map(|(report, _)| report)
+}
+
+/// Executes a plan against a cached [`SessionSetup`], optionally on a
+/// leased [`ShardedPool`] and under an [`Adversary`].
+///
+/// This is the session-catalog entry point: sortition, BGV keygen, and
+/// the keygen-MPC metering are taken from `setup` instead of being
+/// rebuilt, the report's [`SetupCounters`] are zero, and the keygen
+/// cost is *not* merged into the query's MPC metrics (it was paid once
+/// when the setup was built). Per-query randomness is drawn from
+/// `cfg.seed` exactly as in the one-shot path, so results depend only
+/// on `(plan, logical, deployment, cfg, setup)` — never on which other
+/// queries share the setup or on the pool that executed it.
+///
+/// # Errors
+///
+/// Returns [`ExecError::Unsupported`] if `setup` was built for a
+/// different committee size than `cfg.committee_size`, and otherwise
+/// the same errors as [`execute`].
+pub fn execute_on_setup(
+    plan: &Plan,
+    logical: &LogicalPlan,
+    deployment: &Deployment,
+    cfg: &ExecutionConfig,
+    setup: &SessionSetup,
+    pool: Option<&ShardedPool>,
+    adversary: Option<&dyn Adversary>,
+) -> Result<(ExecutionReport, Vec<Detection>), ExecError> {
+    execute_inner(plan, logical, deployment, cfg, Some(setup), pool, adversary)
 }
 
 /// Executes a plan with an [`Adversary`] injecting Byzantine behaviors
@@ -356,7 +387,7 @@ pub fn execute_with_adversary(
     cfg: &ExecutionConfig,
     adversary: &dyn Adversary,
 ) -> Result<AdversarialReport, ExecError> {
-    execute_inner(plan, logical, deployment, cfg, Some(adversary))
+    execute_inner(plan, logical, deployment, cfg, None, None, Some(adversary))
         .map(|(report, detections)| AdversarialReport { report, detections })
 }
 
@@ -365,6 +396,8 @@ fn execute_inner(
     logical: &LogicalPlan,
     deployment: &Deployment,
     cfg: &ExecutionConfig,
+    session: Option<&SessionSetup>,
+    lease: Option<&ShardedPool>,
     adversary: Option<&dyn Adversary>,
 ) -> Result<(ExecutionReport, Vec<Detection>), ExecError> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -374,55 +407,51 @@ fn execute_inner(
     let m = cfg.committee_size;
     let t = (m - 1) / 2;
 
-    // ---- Setup: sortition seats the committees (§5.1). ----
-    let roles = 5; // keygen, decryption, noising, argmax, output.
-    let committees = select_committees(&deployment.registry, &deployment.beacon, 1, roles, m);
-
-    // ---- Key generation committee (§5.2). ----
-    let bgv_params = BgvParams::new(
-        256.max(categories.next_power_of_two()),
-        vec![
-            arboretum_field::primes::BGV_Q1,
-            arboretum_field::primes::BGV_Q2,
-        ],
-        arboretum_field::primes::BGV_Q_ROOTS[..2].to_vec(),
-        1 << 30,
-        None,
-    )
-    .map_err(|e| ExecError::Unsupported(e.to_string()))?;
-    let ctx = Arc::new(BgvContext::new(bgv_params));
-    // Fresh sharded pools, so the per-phase counter deltas below cover
-    // exactly this execution (they feed `planner::cost::PoolCalibration`).
-    let shard_set = cfg.par.sharded_pool();
-    let (sk, pk) = bgv_keygen(&ctx, &mut rng);
+    // ---- Setup (§5.1–§5.2): cached in a session catalog, or built
+    // inline exactly as the one-shot path always has (sortition, BGV
+    // keygen from the main RNG, keygen-MPC metering). ----
+    let built_setup;
+    let setup: &SessionSetup = match session {
+        Some(s) => {
+            if s.committee_size != m {
+                return Err(ExecError::Unsupported(format!(
+                    "session setup seated committees of {}, config wants {m}",
+                    s.committee_size
+                )));
+            }
+            s
+        }
+        None => {
+            built_setup = build_session_setup(deployment, m, cfg.seed, &mut rng)?;
+            &built_setup
+        }
+    };
+    let setup_is_fresh = session.is_none();
+    let committees = &setup.committees;
+    let ctx = Arc::clone(&setup.ctx);
+    let sk = &setup.sk;
+    let pk = &setup.pk;
+    // Sharded pools: leased from the caller's pool bank, or fresh so the
+    // per-phase counter deltas below cover exactly this execution (they
+    // feed `planner::cost::PoolCalibration`). Results never depend on
+    // which pool ran the phases.
+    let owned_pool;
+    let shard_set: &ShardedPool = match lease {
+        Some(p) => p,
+        None => {
+            owned_pool = cfg.par.sharded_pool();
+            &owned_pool
+        }
+    };
     // Budget check before authorizing (§5.2).
     let mut ledger = BudgetLedger::new(cfg.budget);
     ledger
         .charge(logical.certificate.cost)
         .map_err(|_| ExecError::BudgetExhausted)?;
 
-    // Meter the distributed keygen in an MPC engine.
-    let mut keygen_mpc = MpcEngine::new(m, t, true, cfg.seed ^ xkey_gen_tag());
-    inject_with_cost(
-        &mut keygen_mpc,
-        Fix::ZERO,
-        FunctionalityCost {
-            mults: 500,
-            rounds: 60,
-        },
-    );
-
     // Certificate: pk digest, registry root, budget, next beacon, signed
     // by every keygen-committee member.
-    let pk_digest = {
-        let mut bytes = Vec::new();
-        for row in &pk.a.rows {
-            for &c in row.iter().take(8) {
-                bytes.extend_from_slice(&c.to_be_bytes());
-            }
-        }
-        sha256(&bytes)
-    };
+    let pk_digest = setup.pk_digest;
     let contributions: Vec<Digest> = committees.committees[0]
         .iter()
         .map(|&d| sha256(&(d as u64).to_be_bytes()))
@@ -539,7 +568,7 @@ fn execute_inner(
     let jobs = Arc::new(jobs);
     let (schema_lo, schema_hi) = (deployment.schema.lo, deployment.schema.hi);
     let upload_seed = cfg.seed ^ upload_tag();
-    let uploads: Vec<Upload> = par_map_arc_sharded(&shard_set, &jobs, move |i, (row, behavior)| {
+    let uploads: Vec<Upload> = par_map_arc_sharded(shard_set, &jobs, move |i, (row, behavior)| {
         let mut dev_rng =
             StdRng::seed_from_u64(upload_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let bits: Vec<u64> = row.iter().map(|&v| v as u64).collect();
@@ -655,7 +684,7 @@ fn execute_inner(
     // accept/reject partition is identical to the old boolean verdicts:
     // every code path that returned `false` now returns a kind.
     let verdicts: Vec<Option<DetectionKind>> =
-        par_map_arc_sharded(&shard_set, &uploads, move |_, upload| match upload {
+        par_map_arc_sharded(shard_set, &uploads, move |_, upload| match upload {
             Upload::OneHot { proof, .. } => match proof {
                 None => Some(DetectionKind::OneHotStructure),
                 Some(p) => match verify_one_hot_detailed(&pp, p) {
@@ -717,7 +746,7 @@ fn execute_inner(
             Upload::Ranges { vals, .. } => vals,
         };
         let msg = encode_coeffs(&ctx, vals).map_err(|e| ExecError::Unsupported(e.to_string()))?;
-        let ct = bgv_encrypt(&ctx, &pk, &msg, &mut rng);
+        let ct = bgv_encrypt(&ctx, pk, &msg, &mut rng);
         if adversary.is_some() && behaviors[i] == DeviceBehavior::WrongBgvCiphertext {
             // The validated upload binds the device to `vals`; this
             // device instead submits a ciphertext of different data.
@@ -727,7 +756,7 @@ fn execute_inner(
             wrong[0] = wrong[0].wrapping_add(1);
             let wrong_msg =
                 encode_coeffs(&ctx, &wrong).map_err(|e| ExecError::Unsupported(e.to_string()))?;
-            let submitted = bgv_encrypt(&ctx, &pk, &wrong_msg, &mut rng);
+            let submitted = bgv_encrypt(&ctx, pk, &wrong_msg, &mut rng);
             if ciphertext_digest(&submitted) != ciphertext_digest(&ct) {
                 rejected += 1;
                 detections.push(Detection {
@@ -769,15 +798,15 @@ fn execute_inner(
             return Err(ExecError::Unsupported("no accepted inputs".into()));
         }
         let mut partials =
-            arboretum_bgv::par_sum_chunks_sharded(&shard_set, &ctx, accepted, fanout.max(2));
+            arboretum_bgv::par_sum_chunks_sharded(shard_set, &ctx, accepted, fanout.max(2));
         step_results.push(b"sum-tree-level-0".to_vec());
         while partials.len() > 1 {
             partials =
-                arboretum_bgv::par_sum_chunks_sharded(&shard_set, &ctx, partials, fanout.max(2));
+                arboretum_bgv::par_sum_chunks_sharded(shard_set, &ctx, partials, fanout.max(2));
         }
         partials.remove(0)
     } else {
-        let total = arboretum_bgv::par_sum_sharded(&shard_set, &ctx, accepted)
+        let total = arboretum_bgv::par_sum_sharded(shard_set, &ctx, accepted)
             .ok_or_else(|| ExecError::Unsupported("no accepted inputs".into()))?;
         step_results.push(b"aggregator-sum".to_vec());
         total
@@ -856,7 +885,7 @@ fn execute_inner(
     }
 
     // ---- Decryption to shares (§5.4). ----
-    let counts_raw = bgv_decrypt(&ctx, &sk, &total_ct);
+    let counts_raw = bgv_decrypt(&ctx, sk, &total_ct);
     let counts: Vec<i64> = counts_raw[..categories].iter().map(|&v| v as i64).collect();
     let mut mpc = MpcEngine::new(m, t, true, cfg.seed ^ x0p5_tag());
     // Charge the distributed-decryption cost.
@@ -924,12 +953,17 @@ fn execute_inner(
         }
     }
 
-    // Merge MPC metrics.
+    // Merge MPC metrics. The keygen-MPC cost is charged to whoever
+    // performed the keygen: the one-shot path merges it here; the
+    // session-catalog path paid it once at setup build time, so cached
+    // executions report only their own per-query MPC work.
     let mut metrics = mpc.net.metrics.clone();
-    metrics.rounds += keygen_mpc.net.metrics.rounds;
-    metrics.bytes_sent_total += keygen_mpc.net.metrics.bytes_sent_total;
-    metrics.field_mults += keygen_mpc.net.metrics.field_mults;
-    metrics.triples += keygen_mpc.net.metrics.triples;
+    if setup_is_fresh {
+        metrics.rounds += setup.keygen_metrics.rounds;
+        metrics.bytes_sent_total += setup.keygen_metrics.bytes_sent_total;
+        metrics.field_mults += setup.keygen_metrics.field_mults;
+        metrics.triples += setup.keygen_metrics.triples;
+    }
 
     // Elapsed-time estimate under the configured heterogeneity models
     // (reference per-multiplication cost from the §7.5 calibration).
@@ -955,6 +989,11 @@ fn execute_inner(
             aggregate_pool,
             aggregate_ops,
             ring_degree: ctx.params.n as u64,
+            setup: if setup_is_fresh {
+                setup.counters.clone()
+            } else {
+                SetupCounters::default()
+            },
         },
         detections,
     ))
@@ -970,10 +1009,6 @@ fn _tag(b: &[u8]) -> u64 {
 
 fn x0p5_tag() -> u64 {
     _tag(b"mechanism-mpc")
-}
-
-fn xkey_gen_tag() -> u64 {
-    _tag(b"keygen-mpc")
 }
 
 fn upload_tag() -> u64 {

@@ -18,6 +18,7 @@ pub mod executor;
 pub mod mpc_eval;
 pub mod net_exec;
 pub mod session;
+pub mod setup;
 
 pub use adversary::{
     Adversary, CommitteeBehavior, Detection, DetectionClass, DetectionKind, DeviceBehavior,
@@ -25,8 +26,8 @@ pub use adversary::{
 };
 pub use audit::{audit, challenges_per_device, StepLog};
 pub use executor::{
-    execute, execute_with_adversary, AdversarialReport, Deployment, ExecError, ExecutionConfig,
-    ExecutionReport, QueryCert,
+    execute, execute_on_setup, execute_with_adversary, AdversarialReport, Deployment, ExecError,
+    ExecutionConfig, ExecutionReport, QueryCert,
 };
 pub use mpc_eval::{MVal, MechStyle, MpcEvalError, MpcEvaluator};
 pub use net_exec::{
@@ -34,3 +35,4 @@ pub use net_exec::{
     NetExecReport, NetParty,
 };
 pub use session::{reassign_for_churn, QueryRecord, Session, SessionError};
+pub use setup::{build_session_setup, SessionSetup, SetupCounters, SETUP_ROLES};

@@ -83,13 +83,8 @@ impl Session {
         base_cfg: &ExecutionConfig,
     ) -> Result<ExecutionReport, SessionError> {
         let cost = logical.certificate.cost;
-        if !self.ledger.can_afford(cost) {
-            // Surface the precise ledger error without mutating it.
-            let mut probe = self.ledger.clone();
-            return Err(SessionError::Budget(
-                probe.charge(cost).expect_err("can_afford was false"),
-            ));
-        }
+        // Surface the precise ledger error without mutating it.
+        self.ledger.check(cost).map_err(SessionError::Budget)?;
         let cfg = ExecutionConfig {
             budget: self.ledger.remaining(),
             seed: base_cfg.seed ^ self.query_index.wrapping_mul(0x9e37_79b9_7f4a_7c15),

@@ -29,6 +29,7 @@ use arboretum_runtime::{
     Deployment, DetectionClass, ExecutionConfig, ExecutionReport, NetExecConfig, NetExecReport,
     NetParty, Subject,
 };
+use arboretum_service::{CatalogConfig, SessionCatalog};
 use arboretum_sortition::select::select_committees;
 
 use crate::schedule::AdversarySchedule;
@@ -193,6 +194,24 @@ fn expected_detections(
     expected
 }
 
+/// Builds the session catalog [`run_attack_on_catalog`] expects: one
+/// over exactly the deployment `cfg` describes, with the catalog seed
+/// pinned to the attack seed so the cached setup matches what a fresh
+/// execution at that seed would have built.
+///
+/// # Errors
+///
+/// Returns `Err` when the query pipeline or the catalog's eager setup
+/// build fails.
+pub fn build_attack_catalog(cfg: &AttackConfig) -> Result<SessionCatalog, String> {
+    let (deployment, _, _) = build_query(cfg)?;
+    let catalog_cfg = CatalogConfig {
+        seed: cfg.seed,
+        ..CatalogConfig::default()
+    };
+    SessionCatalog::new(deployment, catalog_cfg).map_err(|e| format!("catalog setup: {e}"))
+}
+
 /// Runs one full attack and cross-checks the outcome.
 ///
 /// # Errors
@@ -202,8 +221,39 @@ fn expected_detections(
 /// failed *cross-checks* are reported in [`AttackOutcome::problems`]
 /// instead.
 pub fn run_attack(cfg: &AttackConfig) -> Result<AttackOutcome, String> {
+    run_attack_impl(cfg, None)
+}
+
+/// Runs the attack through a pre-built [`SessionCatalog`] — the
+/// service path — instead of the one-shot executor: the adversarial
+/// run and the honest reference both execute against cached setups, so
+/// the cross-checks additionally require every report to show zero
+/// setup op counts. The catalog must have been built by
+/// [`build_attack_catalog`] (or over an identical deployment with
+/// `catalog seed == cfg.seed`).
+///
+/// # Errors
+///
+/// Returns `Err` when a pipeline stage fails outright or the catalog's
+/// deployment does not match the attack config.
+pub fn run_attack_on_catalog(
+    cfg: &AttackConfig,
+    catalog: &SessionCatalog,
+) -> Result<AttackOutcome, String> {
+    run_attack_impl(cfg, Some(catalog))
+}
+
+fn run_attack_impl(
+    cfg: &AttackConfig,
+    catalog: Option<&SessionCatalog>,
+) -> Result<AttackOutcome, String> {
     let schedule = AdversarySchedule::new(cfg.seed, cfg.n_devices, cfg.n_committees);
     let (deployment, lp, plan) = build_query(cfg)?;
+    if let Some(c) = catalog {
+        if c.deployment().db != deployment.db {
+            return Err("session catalog deployment does not match the attack config".into());
+        }
+    }
     let exec_cfg = ExecutionConfig {
         seed: cfg.seed,
         budget: PrivacyCost {
@@ -213,9 +263,18 @@ pub fn run_attack(cfg: &AttackConfig) -> Result<AttackOutcome, String> {
         par: cfg.par,
         ..ExecutionConfig::default()
     };
+    let mut problems = Vec::new();
 
-    let adversarial = execute_with_adversary(&plan, &lp, &deployment, &exec_cfg, &schedule)
-        .map_err(|e| format!("adversarial run: {e}"))?;
+    let adversarial = match catalog {
+        Some(c) => {
+            let (report, detections) = c
+                .execute_raw(&plan, &lp, &exec_cfg, None, Some(&schedule))
+                .map_err(|e| format!("adversarial run: {e}"))?;
+            AdversarialReport { report, detections }
+        }
+        None => execute_with_adversary(&plan, &lp, &deployment, &exec_cfg, &schedule)
+            .map_err(|e| format!("adversarial run: {e}"))?,
+    };
 
     // Honest reference: the same query over only the honest devices.
     // The surviving-set answer must match it bitwise — rejecting the
@@ -233,10 +292,44 @@ pub fn run_attack(cfg: &AttackConfig) -> Result<AttackOutcome, String> {
         DbSchema::one_hot(honest_rows.len() as u64, cfg.categories)
     };
     let ref_deployment = Deployment::from_rows(honest_rows, ref_schema);
-    let reference = execute(&plan, &lp, &ref_deployment, &exec_cfg)
-        .map_err(|e| format!("reference run: {e}"))?;
+    let reference = match catalog {
+        Some(_) => {
+            // Mirror the service path: the honest subset gets its own
+            // catalog at the same seed, so both runs amortize setup the
+            // same way and stay bitwise comparable.
+            let ref_catalog = SessionCatalog::new(
+                ref_deployment,
+                CatalogConfig {
+                    seed: cfg.seed,
+                    ..CatalogConfig::default()
+                },
+            )
+            .map_err(|e| format!("reference catalog: {e}"))?;
+            let (report, detections) = ref_catalog
+                .execute_raw(&plan, &lp, &exec_cfg, None, None)
+                .map_err(|e| format!("reference run: {e}"))?;
+            if !detections.is_empty() {
+                problems.push(format!(
+                    "honest reference produced {} detection(s) on the service path",
+                    detections.len()
+                ));
+            }
+            report
+        }
+        None => execute(&plan, &lp, &ref_deployment, &exec_cfg)
+            .map_err(|e| format!("reference run: {e}"))?,
+    };
 
-    let mut problems = Vec::new();
+    // Service-path runs execute against a cached setup: re-paying
+    // sortition or keygen inside a query would break the amortization
+    // contract the catalog exists to provide.
+    if catalog.is_some() && (!adversarial.report.setup.is_zero() || !reference.setup.is_zero()) {
+        problems.push(format!(
+            "service-path run re-paid setup: adversarial {:?}, reference {:?}",
+            adversarial.report.setup, reference.setup
+        ));
+    }
+
     cross_check_execution(
         &schedule,
         &deployment,
@@ -451,5 +544,33 @@ mod tests {
         let outcome = run_attack(&cfg).expect("attack run failed");
         assert!(outcome.ok(), "problems:\n{}", outcome.summary());
         assert!(!outcome.adversarial.detections.is_empty());
+    }
+
+    #[test]
+    fn smoke_attack_run_through_prebuilt_catalog() {
+        // Smoke-level service-path coverage: one seed, with the
+        // schedule's behavior classes it derives. The full seed sweep
+        // stays on the one-shot path; this pins that the adversary
+        // harness composes with a cached-setup catalog — detections,
+        // reference equality, and zero setup op counts included.
+        let cfg = AttackConfig {
+            net_phase: false,
+            ..AttackConfig::new(1)
+        };
+        let catalog = build_attack_catalog(&cfg).expect("catalog build failed");
+        let outcome = run_attack_on_catalog(&cfg, &catalog).expect("attack run failed");
+        assert!(outcome.ok(), "problems:\n{}", outcome.summary());
+        assert!(!outcome.adversarial.detections.is_empty());
+        assert!(outcome.adversarial.report.setup.is_zero());
+        assert!(outcome.reference.setup.is_zero());
+
+        // A catalog over the wrong deployment is rejected up front.
+        let other = AttackConfig {
+            n_devices: 52,
+            net_phase: false,
+            ..AttackConfig::new(1)
+        };
+        let wrong = build_attack_catalog(&other).expect("catalog build failed");
+        assert!(run_attack_on_catalog(&cfg, &wrong).is_err());
     }
 }

@@ -27,5 +27,8 @@
 pub mod harness;
 pub mod schedule;
 
-pub use harness::{dump_failure_artifact, run_attack, AttackConfig, AttackOutcome};
+pub use harness::{
+    build_attack_catalog, dump_failure_artifact, run_attack, run_attack_on_catalog, AttackConfig,
+    AttackOutcome,
+};
 pub use schedule::{AdversarySchedule, NetFault};

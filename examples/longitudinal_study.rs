@@ -1,20 +1,26 @@
-//! A longitudinal study: many queries over one deployment session.
+//! A longitudinal study: many queries over one deployment session,
+//! served by the multi-tenant service.
 //!
-//! Demonstrates the system's long-lived behavior (§5.1–§5.2): the random
-//! beacon advances with every query so fresh committees are seated, the
-//! privacy-budget ledger carries across queries and eventually refuses
-//! service, and committee churn is handled by task reassignment.
+//! Demonstrates the system's long-lived behavior (§5.1–§5.2) through
+//! the `ServiceHandle` API: the session catalog pays the fixed
+//! sortition + BGV-keygen cost exactly once at startup, so every query
+//! in the analyst's monthly stream reports **zero** setup op counts
+//! (the amortization story of §5); the per-analyst privacy-budget
+//! ledger carries across queries and eventually refuses service with a
+//! typed error; the plan cache answers the repeated monthly query
+//! without re-planning; and committee churn is handled by task
+//! reassignment.
 //!
 //! Run with: `cargo run --example longitudinal_study`
 
 use arboretum::dp::budget::PrivacyCost;
-use arboretum::runtime::session::{reassign_for_churn, Session};
-use arboretum::{Arboretum, CertifyConfig, DbSchema, Deployment, ExecutionConfig};
+use arboretum::runtime::session::reassign_for_churn;
+use arboretum::service::{CatalogConfig, ServiceConfig, ServiceHandle};
+use arboretum::{Arboretum, Deployment, ExecutionConfig};
 
 fn main() {
     let categories = 5;
-    let schema = DbSchema::one_hot(1 << 20, categories);
-    let system = Arboretum::new(1 << 20);
+    let monthly = "aggr = sum(db);\nr = em(aggr, 2.0);\noutput(r);";
 
     // A fixed cohort answering a monthly top-1 question.
     let weights = [30usize, 55, 20, 40, 15];
@@ -25,54 +31,85 @@ fn main() {
         .collect();
     let deployment = Deployment::one_hot(&assignments, categories);
 
+    // Contrast: a one-shot execution pays the fixed setup cost itself.
+    let system = Arboretum::new(1 << 20);
     let prepared = system
-        .prepare(
-            "aggr = sum(db);\nr = em(aggr, 2.0);\noutput(r);",
-            schema,
-            CertifyConfig::default(),
-        )
+        .prepare(monthly, deployment.schema, Default::default())
         .expect("monthly query certifies");
-
-    let mut session = Session::new(
-        deployment,
-        PrivacyCost {
-            epsilon: 7.0,
-            delta: 1e-8,
-        },
+    let one_shot = system
+        .run(&prepared, &deployment, &ExecutionConfig::default())
+        .expect("one-shot run succeeds");
+    assert!(
+        !one_shot.setup.is_zero(),
+        "a one-shot execution performs its own sortition + keygen"
+    );
+    println!(
+        "one-shot execution paid setup itself: {} committees seated, {} keygen, {} keygen-MPC rounds",
+        one_shot.setup.sortition_committees,
+        one_shot.setup.keygen_ops,
+        one_shot.setup.keygen_mpc_rounds,
     );
 
+    // The standing service pays it once, at catalog creation.
+    let service = ServiceHandle::start(
+        deployment,
+        ServiceConfig {
+            catalog: CatalogConfig::default(),
+            workers: 2,
+            pool_capacity: 2,
+        },
+    )
+    .expect("catalog setup succeeds");
+    println!(
+        "service catalog paid setup once up front: {:?}\n",
+        service.setup_counters()
+    );
+    service
+        .open_session(
+            "analyst",
+            PrivacyCost {
+                epsilon: 7.0,
+                delta: 1e-8,
+            },
+        )
+        .expect("session opens");
+
     println!("monthly top-1 under a total budget of epsilon = 7.0:\n");
-    for month in 1.. {
-        match session.run_query(
-            &prepared.plan,
-            &prepared.logical,
-            &ExecutionConfig::default(),
-        ) {
+    let mut month = 1u64;
+    let mut winners = Vec::new();
+    loop {
+        match service.run("analyst", monthly) {
             Ok(report) => {
-                println!(
-                    "month {month}: winner = category {}, budget left = {:.2}, beacon = {:02x}{:02x}..",
-                    report.outputs[0],
-                    session.ledger.remaining().epsilon,
-                    session.deployment.beacon[0],
-                    session.deployment.beacon[1],
+                // Every service query runs against the cached setup:
+                // zero additional sortition/keygen work, by op count.
+                assert!(
+                    report.setup.is_zero(),
+                    "month {month} re-paid setup: {:?}",
+                    report.setup
                 );
+                println!(
+                    "month {month}: winner = category {}, budget left = {:.2}, setup ops = 0 (amortized)",
+                    report.outputs[0],
+                    service.ledger("analyst").expect("open").remaining().epsilon,
+                );
+                winners.push(report.outputs[0]);
             }
             Err(e) => {
                 println!("month {month}: query refused — {e}");
                 break;
             }
         }
+        month += 1;
     }
 
+    let (hits, misses) = service.plan_cache_stats();
     println!(
-        "\n{} queries completed; history: {:?}",
-        session.history.len(),
-        session
-            .history
-            .iter()
-            .map(|r| r.outputs[0])
-            .collect::<Vec<_>>()
+        "\n{} queries completed; winners: {winners:?}",
+        winners.len()
     );
+    println!("plan cache: {hits} hits, {misses} miss(es) — the monthly query planned once");
+    assert_eq!(misses, 1, "identical monthly query must re-plan only once");
+    assert!(hits >= 1);
 
     // Churn: a 15%-tolerant plan with three committees where committee 1
     // collapses — its task fails over to committee 2 (§5.1).
