@@ -21,6 +21,7 @@
 pub mod energy;
 pub mod figures;
 pub mod heterogeneity;
+pub mod netbench;
 pub mod nttbench;
 pub mod parbench;
 pub mod validation;

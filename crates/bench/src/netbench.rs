@@ -1,0 +1,291 @@
+//! Fabric × population benchmark: one aggregator gathers a frame from
+//! every device on each network fabric, timing the whole gather and the
+//! per-party overhead.
+//!
+//! The threaded fabric pays for real OS threads and per-link channels,
+//! so it is only run at small populations; the evented virtual-time
+//! fabric drives the same gather from a single thread over pooled
+//! buffers, which is what lets one process reach 10^5–10^6 devices.
+//! Every cell also cross-checks its measured [`TransportMetrics`]
+//! against the closed-form model (`identical`), so the speedups are
+//! comparisons between runs that provably moved the same bytes.
+
+use std::time::{Duration, Instant};
+
+use arboretum_field::FGold;
+use arboretum_net::{
+    evented_fabric, threaded_fabric, EventedConfig, Message, SimTransport, ThreadedConfig,
+    Transport, TransportMetrics, HEADER_BYTES,
+};
+
+/// Field elements in each device's frame (the shape of an encrypted
+/// one-hot upload digest).
+const ELEMS: usize = 32;
+
+/// Devices per send/drain batch on the single-threaded fabrics, so the
+/// evented arena's peak live-buffer count stays bounded.
+const BATCH: usize = 4096;
+
+/// One measured (fabric, population) cell.
+#[derive(Clone, Debug)]
+pub struct NetPoint {
+    /// Fabric name: `"sim"`, `"threaded"`, or `"evented"`.
+    pub fabric: &'static str,
+    /// Devices gathered from (the fabric holds one more party, the
+    /// aggregator).
+    pub devices: usize,
+    /// Timed gathers.
+    pub reps: usize,
+    /// Nanoseconds per full gather.
+    pub ns_per_gather: f64,
+    /// `ns_per_gather / devices` — the per-party overhead.
+    pub ns_per_party: f64,
+    /// Peak simultaneously-live frame buffers (evented only; the arena
+    /// allocation counter is the memory proxy — everything beyond it
+    /// was recycled). Zero on other fabrics.
+    pub peak_buffers: u64,
+    /// Whether the measured transport metrics equal the closed-form
+    /// model bitwise.
+    pub identical: bool,
+}
+
+/// The network fabric benchmark: one [`NetPoint`] per (fabric,
+/// population) cell, plus the headline ratio.
+#[derive(Clone, Debug)]
+pub struct NetBench {
+    /// CPUs available to the process (the threaded fabric uses them;
+    /// the others are single-threaded).
+    pub host_cpus: usize,
+    /// One measurement per cell.
+    pub points: Vec<NetPoint>,
+    /// Threaded ÷ evented per-party overhead at the largest population
+    /// both fabrics ran (the cost of real threads over virtual time).
+    pub threaded_over_evented: f64,
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn frame() -> Message {
+    Message::FieldElems((0..ELEMS as u64).map(FGold::new).collect())
+}
+
+/// The closed-form traffic model for one gather of `n` frames.
+fn model(n: usize) -> TransportMetrics {
+    let payload = frame().payload_len() as u64;
+    TransportMetrics {
+        rounds: 0,
+        payload_bytes_total: n as u64 * payload,
+        payload_bytes_max: payload,
+        frames: n as u64,
+        framed_bytes_total: n as u64 * (payload + HEADER_BYTES as u64),
+    }
+}
+
+/// One gather on the sim fabric; returns (elapsed, measured metrics).
+fn gather_sim(n: usize) -> (Duration, TransportMetrics) {
+    let mut t = SimTransport::new(n + 1);
+    let msg = frame();
+    let start = Instant::now();
+    for lo in (0..n).step_by(BATCH) {
+        let hi = (lo + BATCH).min(n);
+        for i in lo..hi {
+            t.send(i, n, &msg).unwrap();
+        }
+        for i in lo..hi {
+            std::hint::black_box(t.recv(n, i).unwrap());
+        }
+    }
+    (start.elapsed(), t.metrics())
+}
+
+/// One gather on the evented fabric; returns (elapsed, metrics, peak
+/// live buffers).
+fn gather_evented(n: usize) -> (Duration, TransportMetrics, u64) {
+    let mut eps = evented_fabric(n + 1, &EventedConfig::default());
+    let mut agg = eps.pop().unwrap();
+    let handle = agg.metrics_handle();
+    let msg = frame();
+    let start = Instant::now();
+    for lo in (0..n).step_by(BATCH) {
+        let hi = (lo + BATCH).min(n);
+        for (i, ep) in eps[lo..hi].iter_mut().enumerate() {
+            ep.send(lo + i, n, &msg).unwrap();
+        }
+        for i in lo..hi {
+            std::hint::black_box(agg.recv(n, i).unwrap());
+        }
+    }
+    let elapsed = start.elapsed();
+    let metrics = handle.snapshot();
+    let peak = handle.arena_counters().fresh;
+    (elapsed, metrics, peak)
+}
+
+/// One gather on the threaded fabric: one OS thread per device, real
+/// channels. Returns (elapsed, measured metrics).
+fn gather_threaded(n: usize) -> (Duration, TransportMetrics) {
+    let cfg = ThreadedConfig {
+        timeout: Duration::from_secs(30),
+        ..ThreadedConfig::default()
+    };
+    let start = Instant::now();
+    let mut eps = threaded_fabric(n + 1, &cfg);
+    let mut agg = eps.pop().unwrap();
+    let handle = agg.metrics_handle();
+    std::thread::scope(|s| {
+        for mut ep in eps {
+            s.spawn(move || {
+                let id = ep.id();
+                ep.send(id, n, &frame()).unwrap();
+            });
+        }
+        for i in 0..n {
+            std::hint::black_box(agg.recv(n, i).unwrap());
+        }
+    });
+    (start.elapsed(), handle.snapshot())
+}
+
+fn point(
+    fabric: &'static str,
+    devices: usize,
+    reps: usize,
+    mut run: impl FnMut() -> (Duration, TransportMetrics, u64),
+) -> NetPoint {
+    // One untimed warm-up run also supplies the metrics cross-check.
+    let (_, metrics, mut peak) = run();
+    let identical = metrics == model(devices);
+    let mut total = Duration::ZERO;
+    for _ in 0..reps {
+        let (d, _, p) = run();
+        total += d;
+        peak = peak.max(p);
+    }
+    let ns_per_gather = total.as_nanos() as f64 / reps as f64;
+    NetPoint {
+        fabric,
+        devices,
+        reps,
+        ns_per_gather,
+        ns_per_party: ns_per_gather / devices as f64,
+        peak_buffers: peak,
+        identical,
+    }
+}
+
+/// Runs the gather grid: the evented fabric at every population in
+/// `sizes`; sim and threaded only at populations `≤ dense_cap`, because
+/// both hold dense per-pair state (m² queues / channels) and threaded
+/// additionally spawns one OS thread per device.
+pub fn bench_net(sizes: &[usize], dense_cap: usize, reps: usize) -> NetBench {
+    let mut points = Vec::new();
+    for &n in sizes {
+        if n <= dense_cap {
+            points.push(point("sim", n, reps, || {
+                let (d, m) = gather_sim(n);
+                (d, m, 0)
+            }));
+        }
+        points.push(point("evented", n, reps, || gather_evented(n)));
+        if n <= dense_cap {
+            points.push(point("threaded", n, reps, || {
+                let (d, m) = gather_threaded(n);
+                (d, m, 0)
+            }));
+        }
+    }
+    let largest_both = points
+        .iter()
+        .filter(|p| p.fabric == "threaded")
+        .map(|p| p.devices)
+        .max();
+    let threaded_over_evented = largest_both
+        .and_then(|n| {
+            let th = points
+                .iter()
+                .find(|p| p.fabric == "threaded" && p.devices == n)?;
+            let ev = points
+                .iter()
+                .find(|p| p.fabric == "evented" && p.devices == n)?;
+            Some(th.ns_per_party / ev.ns_per_party)
+        })
+        .unwrap_or(f64::NAN);
+    NetBench {
+        host_cpus: host_cpus(),
+        points,
+        threaded_over_evented,
+    }
+}
+
+impl NetBench {
+    /// Renders the benchmark as a JSON document (the schema of
+    /// `BENCH_net.json`).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"fabric\": \"{}\", \"devices\": {}, \"reps\": {}, \
+                     \"ns_per_gather\": {:.0}, \"ns_per_party\": {:.1}, \
+                     \"peak_buffers\": {}, \"identical\": {}}}",
+                    p.fabric,
+                    p.devices,
+                    p.reps,
+                    p.ns_per_gather,
+                    p.ns_per_party,
+                    p.peak_buffers,
+                    p.identical
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"net_fabrics\",\n  \"host_cpus\": {},\n  \
+             \"threaded_over_evented\": {:.2},\n  \"results\": [\n{}\n  ]\n}}\n",
+            self.host_cpus,
+            self.threaded_over_evented,
+            rows.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_moves_exactly_the_modeled_bytes() {
+        let b = bench_net(&[64, 300], 300, 1);
+        assert_eq!(b.points.len(), 6, "three fabrics at both populations");
+        for p in &b.points {
+            assert!(
+                p.identical,
+                "{} at {} diverged from the model",
+                p.fabric, p.devices
+            );
+            assert!(p.ns_per_party > 0.0);
+        }
+        assert!(b.threaded_over_evented.is_finite());
+    }
+
+    #[test]
+    fn evented_peak_buffers_stay_bounded_by_the_batch() {
+        // Straight to the evented gather: the sim fabric's dense m²
+        // queues would dominate this population in a debug build.
+        let n = 2 * BATCH + 5;
+        let (_, metrics, peak) = gather_evented(n);
+        assert_eq!(metrics, model(n));
+        assert!(peak <= BATCH as u64);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let b = bench_net(&[32], 32, 1);
+        let j = b.to_json();
+        assert!(j.contains("\"bench\": \"net_fabrics\""));
+        assert!(j.contains("\"fabric\": \"evented\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

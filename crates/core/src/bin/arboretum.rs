@@ -21,6 +21,8 @@
 //!                         (0 = run inline)     [default: all host CPUs]
 //!   --shards K            independent aggregator pools, each pinned to
 //!                         a contiguous device shard       [default: 1]
+//!   --fabric F            network fabric for the simulated MPC engines:
+//!                         sim | threaded | evented      [default: sim]
 //!
 //! attack options:
 //!   --seed S              adversary schedule seed              [default 0]
@@ -30,6 +32,9 @@
 //!   --no-net              skip the networked-MPC fault phase
 //!   --service             route both runs through a pre-built session
 //!                         catalog (the `serve` execution path)
+//!   --fabric F            fabric for the MPC engines and the networked
+//!                         fault phase: sim | threaded | evented
+//!                         (outcomes are identical on every fabric)
 //!
 //! serve options:
 //!   --devices N           simulated deployment size            [default 48]
@@ -38,6 +43,8 @@
 //!   --workers W           scheduler worker threads (0 = inline) [default 2]
 //!   --pool-capacity P     leasable aggregator pools            [default 2]
 //!   --open NAME:EPS:DELTA pre-open an analyst session (repeatable)
+//!   --fabric F            process-wide fabric default:
+//!                         sim | threaded | evented
 //! ```
 //!
 //! `serve` speaks the line protocol from `arboretum-service` — `OPEN`,
@@ -67,6 +74,7 @@ struct Options {
     seed: u64,
     threads: Option<usize>,
     shards: Option<usize>,
+    fabric: Option<arboretum::net::FabricKind>,
 }
 
 impl Default for Options {
@@ -80,6 +88,7 @@ impl Default for Options {
             seed: 7,
             threads: None,
             shards: None,
+            fabric: None,
         }
     }
 }
@@ -121,6 +130,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--shards" => {
                 o.shards = Some(next(args, &mut i)?.parse().map_err(|e| format!("{e}"))?);
             }
+            "--fabric" => o.fabric = Some(next(args, &mut i)?.parse()?),
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
@@ -187,6 +197,10 @@ fn attack(args: &[String]) -> ExitCode {
                 );
                 Ok(())
             }),
+            "--fabric" => next(args, &mut i).and_then(|v| {
+                cfg.fabric = Some(v.parse()?);
+                Ok(())
+            }),
             other => Err(format!("unknown attack option {other:?}")),
         };
         if let Err(e) = r {
@@ -238,6 +252,7 @@ fn serve(args: &[String]) -> ExitCode {
     let mut workers = 2usize;
     let mut pool_capacity = 2usize;
     let mut opens: Vec<(String, PrivacyCost)> = Vec::new();
+    let mut fabric: Option<arboretum::net::FabricKind> = None;
     let mut i = 0;
     while i < args.len() {
         let r = match args[i].as_str() {
@@ -271,6 +286,10 @@ fn serve(args: &[String]) -> ExitCode {
                 opens.push((name.to_string(), PrivacyCost { epsilon, delta }));
                 Ok(())
             }),
+            "--fabric" => next(args, &mut i).and_then(|v| {
+                fabric = Some(v.parse::<arboretum::net::FabricKind>()?);
+                Ok(())
+            }),
             other => Err(format!("unknown serve option {other:?}")),
         };
         if let Err(e) = r {
@@ -282,6 +301,11 @@ fn serve(args: &[String]) -> ExitCode {
     if categories == 0 || devices == 0 {
         eprintln!("--devices and --categories must be positive");
         return ExitCode::FAILURE;
+    }
+    if let Some(kind) = fabric {
+        // The catalog and scheduler resolve through the process-wide
+        // default; every query served this process uses this fabric.
+        arboretum::net::configure_global_fabric(kind);
     }
 
     let assignments: Vec<usize> = (0..devices).map(|i| i % categories).collect();
@@ -394,6 +418,11 @@ fn dispatch(cmd: &str, source: &str, opts: &Options) -> ExitCode {
             threads: opts.threads,
             shards: opts.shards,
         });
+    }
+    if let Some(kind) = opts.fabric {
+        // The executor's MPC engines resolve through the process-wide
+        // default when `ExecutionConfig::fabric` is unset.
+        arboretum::net::configure_global_fabric(kind);
     }
     let schema = DbSchema::one_hot(opts.participants, opts.categories);
     let certify_cfg = CertifyConfig {

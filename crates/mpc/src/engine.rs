@@ -15,7 +15,7 @@
 //! needs (§4.6, §6).
 
 use arboretum_field::FGold;
-use arboretum_net::{Message, SimTransport, Transport};
+use arboretum_net::{EventedFabric, FabricKind, Message, NetError, SimTransport, Transport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -54,6 +54,59 @@ impl std::fmt::Display for MpcError {
 
 impl std::error::Error for MpcError {}
 
+/// The in-process fabric an engine's protocol messages cross. The
+/// engine is a single act-as-anyone object, so only the single-object
+/// fabrics apply: the instant sim and the virtual-time evented fabric
+/// (the threaded fabric's one-endpoint-per-thread shape doesn't fit a
+/// mirror; [`FabricKind::Threaded`] maps to sim here). With no latency
+/// model configured both backends meter bitwise identically.
+#[derive(Debug)]
+enum EngineFabric {
+    Sim(SimTransport),
+    Evented(Box<EventedFabric>),
+}
+
+impl Transport for EngineFabric {
+    fn parties(&self) -> usize {
+        match self {
+            Self::Sim(t) => t.parties(),
+            Self::Evented(t) => t.parties(),
+        }
+    }
+
+    fn local_party(&self) -> Option<usize> {
+        None
+    }
+
+    fn send(&mut self, from: usize, to: usize, msg: &Message) -> Result<usize, NetError> {
+        match self {
+            Self::Sim(t) => t.send(from, to, msg),
+            Self::Evented(t) => t.send(from, to, msg),
+        }
+    }
+
+    fn recv(&mut self, at: usize, from: usize) -> Result<Message, NetError> {
+        match self {
+            Self::Sim(t) => t.recv(at, from),
+            Self::Evented(t) => t.recv(at, from),
+        }
+    }
+
+    fn round(&mut self, at: usize) {
+        match self {
+            Self::Sim(t) => t.round(at),
+            Self::Evented(t) => t.round(at),
+        }
+    }
+
+    fn metrics(&self) -> arboretum_net::TransportMetrics {
+        match self {
+            Self::Sim(t) => t.metrics(),
+            Self::Evented(t) => t.metrics(),
+        }
+    }
+}
+
 /// The MPC engine for one committee.
 #[derive(Debug)]
 pub struct MpcEngine {
@@ -65,8 +118,8 @@ pub struct MpcEngine {
     pub malicious: bool,
     /// The communication meter.
     pub net: NetMeter,
-    /// The instant in-process fabric every protocol message crosses.
-    fabric: SimTransport,
+    /// The in-process fabric every protocol message crosses.
+    fabric: EngineFabric,
     rng: StdRng,
 }
 
@@ -78,17 +131,35 @@ impl MpcEngine {
     ///
     /// Panics unless `0 < m` and `t < m / 2 + m % 2` (honest majority).
     pub fn new(m: usize, t: usize, malicious: bool, seed: u64) -> Self {
+        Self::new_on(m, t, malicious, seed, FabricKind::Sim)
+    }
+
+    /// Creates an engine whose protocol messages cross the selected
+    /// fabric. [`FabricKind::Sim`] and [`FabricKind::Threaded`] run the
+    /// instant sim fabric (the engine is one act-as-anyone object, so
+    /// per-party endpoint threads don't apply); [`FabricKind::Evented`]
+    /// runs the virtual-time fabric. All choices produce bitwise
+    /// identical outputs and transport metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < m` and `2t < m` (honest majority).
+    pub fn new_on(m: usize, t: usize, malicious: bool, seed: u64, kind: FabricKind) -> Self {
         assert!(m > 0, "need at least one party");
         assert!(
             2 * t < m,
             "honest majority requires 2t < m (got t={t}, m={m})"
         );
+        let fabric = match kind {
+            FabricKind::Sim | FabricKind::Threaded => EngineFabric::Sim(SimTransport::new(m)),
+            FabricKind::Evented => EngineFabric::Evented(Box::new(EventedFabric::new(m))),
+        };
         Self {
             m,
             t,
             malicious,
             net: NetMeter::new(m),
-            fabric: SimTransport::new(m),
+            fabric,
             rng: StdRng::seed_from_u64(seed),
         }
     }

@@ -1,0 +1,35 @@
+//! The event-driven virtual-time fabric.
+//!
+//! The threaded fabric spends one OS thread and real sleeps per party,
+//! capping simulated populations at a few thousand. This module
+//! replaces threads-and-sleeps with a discrete event clock: every party
+//! carries a virtual `u64`-nanosecond clock, modeled `LatencyModel`
+//! delays schedule frames on that clock, timeouts are decided by
+//! comparing modeled values (never wall time), faults are events on the
+//! same clock, and frames are encoded into a pooled buffer arena
+//! instead of fresh allocations. One process drives full sortition +
+//! upload waves for 10^5–10^6 simulated devices.
+//!
+//! Two frontends share the core:
+//!
+//! - [`EventedFabric`] — act-as-anyone, `SimTransport`-shaped; the MPC
+//!   engine and the population-scale wave driver run on it. With no
+//!   latency configured its metering is bitwise identical to sim's.
+//! - [`evented_fabric`] / [`EventedEndpoint`] — per-party blocking
+//!   endpoints for `Party`-closure code (committee execution, churn
+//!   failover); the threaded fabric's semantics with the wall clock
+//!   replaced by quiescence-resolved virtual time.
+//!
+//! The precise virtual-time contract (delivery rule, quiescence
+//! timeouts, tie-breaks, fault composition) is specified in
+//! `crates/net/README.md`.
+
+mod arena;
+mod core;
+mod endpoint;
+mod fabric;
+
+pub use arena::{ArenaCounters, BufferArena};
+pub use core::EventedConfig;
+pub use endpoint::{evented_fabric, EventedEndpoint, EventedMetricsHandle};
+pub use fabric::EventedFabric;

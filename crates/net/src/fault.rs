@@ -53,20 +53,20 @@ impl FaultPlan {
         }
     }
 
-    fn crash_threshold(&self, party: usize) -> Option<u64> {
+    pub(crate) fn crash_threshold(&self, party: usize) -> Option<u64> {
         self.crash_after_ops
             .iter()
             .find(|&&(p, _)| p == party)
             .map(|&(_, n)| n)
     }
 
-    fn partitioned(&self, a: usize, b: usize) -> bool {
+    pub(crate) fn partitioned(&self, a: usize, b: usize) -> bool {
         self.partitions
             .iter()
             .any(|&(x, y)| (x, y) == (a, b) || (y, x) == (a, b))
     }
 
-    fn slowdown(&self, party: usize) -> Option<f64> {
+    pub(crate) fn slowdown(&self, party: usize) -> Option<f64> {
         self.slow
             .iter()
             .find(|&&(p, _)| p == party)

@@ -12,8 +12,14 @@
 //!   simulator runs on;
 //! - [`threaded`] — a real concurrent fabric, one OS thread per party,
 //!   channels per link, modeled latency and jitter, timeouts everywhere;
+//! - [`evented`] — the event-driven virtual-time fabric: modeled
+//!   delays, timeouts, and faults advance per-party virtual clocks
+//!   instead of sleeping, frames recycle through a pooled buffer arena,
+//!   and sparse link queues let one process simulate 10^5–10^6 parties;
 //! - [`fault`] — message loss, party crashes, partitions, and slow
-//!   parties layered over any fabric.
+//!   parties layered over any fabric;
+//! - [`config`] — the [`FabricKind`] selector and the process-wide
+//!   default installed by the CLI's `--fabric` flag.
 //!
 //! Payload byte counts are defined so the threaded fabric's *measured*
 //! traffic equals the analytic `NetMeter` model in `arboretum-mpc`
@@ -23,14 +29,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
+pub mod evented;
 pub mod fault;
 pub mod sim;
 pub mod threaded;
 pub mod transport;
 pub mod wire;
 
+pub use config::{configure_global_fabric, global_fabric, FabricKind};
+pub use evented::{
+    evented_fabric, ArenaCounters, BufferArena, EventedConfig, EventedEndpoint, EventedFabric,
+    EventedMetricsHandle,
+};
 pub use fault::{FaultPlan, FaultyTransport};
 pub use sim::SimTransport;
 pub use threaded::{threaded_fabric, MetricsHandle, ThreadedConfig, ThreadedEndpoint};
 pub use transport::{NetError, Transport, TransportMetrics};
-pub use wire::{Message, Wire, WireError, WireShare};
+pub use wire::{Message, Wire, WireError, WireShare, HEADER_BYTES};

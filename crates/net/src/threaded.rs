@@ -9,6 +9,13 @@
 //! tracks the modeled link delays. Receives always use a timeout —
 //! a silent or crashed peer yields [`NetError::Timeout`] or
 //! [`NetError::Closed`], never a hang.
+//!
+//! Timeout edge rule: whether a queued frame beats the receive deadline
+//! is decided on its *modeled* delay, never on wall-clock arrival. A
+//! frame whose delay is exactly the timeout is delivered (`delay <=
+//! timeout` delivers; strictly greater times out), so the decision is
+//! deterministic and bitwise identical to the evented fabric's virtual
+//! clock applying the same rule.
 
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -49,6 +56,13 @@ impl Default for ThreadedConfig {
 struct Envelope {
     frame: Vec<u8>,
     deliver_at: Instant,
+    /// The modeled one-way delay this frame was sent with. The timeout
+    /// decision is made on this value, not on wall-clock arrival, so the
+    /// rule is deterministic: a frame is delivered iff `delay <= timeout`
+    /// (equality delivers), and a frame with `delay > timeout` is
+    /// consumed and reported as [`NetError::Timeout`]. The evented
+    /// fabric applies the identical rule on its virtual clock.
+    delay: Duration,
 }
 
 #[derive(Default)]
@@ -191,6 +205,7 @@ impl Transport for ThreadedEndpoint {
         let env = Envelope {
             frame,
             deliver_at: Instant::now() + delay,
+            delay,
         };
         let framed = (payload + HEADER_BYTES) as u64;
         self.senders[to]
@@ -223,6 +238,16 @@ impl Transport for ThreadedEndpoint {
             Err(RecvTimeoutError::Timeout) => return Err(NetError::Timeout { at, from }),
             Err(RecvTimeoutError::Disconnected) => return Err(NetError::Closed { peer: from }),
         };
+        // Timeout edge rule: a frame is delivered iff its *modeled*
+        // one-way delay is at most the receive timeout — equality
+        // delivers. The comparison is on the modeled value (not on
+        // wall-clock arrival), so the decision is deterministic and the
+        // evented fabric's virtual clock applies the identical rule. A
+        // frame over the deadline is consumed off the link before the
+        // timeout is reported, matching a receiver that gave up waiting.
+        if env.delay > self.timeout {
+            return Err(NetError::Timeout { at, from });
+        }
         // Latency injection: the frame is not readable before its
         // modeled arrival time.
         let now = Instant::now();
@@ -332,6 +357,41 @@ mod tests {
             start.elapsed() >= Duration::from_secs_f64(one_way * 0.8),
             "delivery should respect the modeled one-way latency"
         );
+    }
+
+    #[test]
+    fn delay_equal_to_timeout_is_delivered() {
+        // The edge case: modeled latency *exactly* the receive timeout.
+        // The inclusive rule (`delay <= timeout` delivers) must hand the
+        // frame over rather than time out.
+        let cfg = ThreadedConfig {
+            timeout: Duration::from_millis(50),
+            latency: Some(vec![vec![0.05; 2]; 2]),
+            ..ThreadedConfig::default()
+        };
+        let mut eps = threaded_fabric(2, &cfg);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        e1.send(1, 0, &Message::Sync { round: 3 }).unwrap();
+        assert_eq!(e0.recv(0, 1), Ok(Message::Sync { round: 3 }));
+    }
+
+    #[test]
+    fn delay_beyond_timeout_is_consumed_and_times_out() {
+        // A frame modeled slower than the deadline is consumed off the
+        // link and reported as a timeout; a later fast frame is still
+        // receivable (the slow one does not wedge the queue).
+        let cfg = ThreadedConfig {
+            timeout: Duration::from_millis(20),
+            latency: Some(vec![vec![0.08; 2]; 2]),
+            ..ThreadedConfig::default()
+        };
+        let mut eps = threaded_fabric(2, &cfg);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        e1.send(1, 0, &Message::Sync { round: 9 }).unwrap();
+        assert_eq!(e0.recv(0, 1), Err(NetError::Timeout { at: 0, from: 1 }));
+        assert_eq!(e0.recv(0, 1), Err(NetError::Timeout { at: 0, from: 1 }));
     }
 
     #[test]

@@ -420,15 +420,26 @@ impl Message {
 
     /// Encodes this message as one complete frame (header + payload).
     pub fn encode_frame(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_BYTES + self.payload_len());
+        self.encode_frame_into(&mut out);
+        out
+    }
+
+    /// Encodes this message as one complete frame into `out`, reusing
+    /// whatever capacity `out` already holds (the evented fabric's
+    /// buffer arena feeds recycled buffers through here so steady-state
+    /// traffic allocates nothing per frame). `out` is cleared first; on
+    /// return it contains exactly the frame bytes.
+    pub fn encode_frame_into(&self, out: &mut Vec<u8>) {
         let payload_len = self.payload_len();
-        let mut out = Vec::with_capacity(HEADER_BYTES + payload_len);
+        out.clear();
+        out.reserve(HEADER_BYTES + payload_len);
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.push(VERSION);
         out.push(self.kind());
-        put_u32(&mut out, payload_len as u32);
-        self.encode_payload(&mut out);
+        put_u32(out, payload_len as u32);
+        self.encode_payload(out);
         debug_assert_eq!(out.len(), HEADER_BYTES + payload_len);
-        out
     }
 
     /// Decodes one frame from the front of `buf`, returning the message

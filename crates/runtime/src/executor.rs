@@ -20,6 +20,7 @@ use arboretum_lang::ast::DbSchema;
 use arboretum_mpc::engine::MpcEngine;
 use arboretum_mpc::fixp::{inject_with_cost, FunctionalityCost};
 use arboretum_mpc::network::NetMetrics;
+use arboretum_net::FabricKind;
 use arboretum_par::{par_map_arc_sharded, ParConfig, PoolStats, ShardedPool};
 use arboretum_planner::cost::PoolCalibration;
 use arboretum_planner::logical::LogicalPlan;
@@ -45,7 +46,7 @@ use crate::adversary::{
 };
 use crate::audit::{audit, challenges_per_device, StepLog};
 use crate::mpc_eval::{MVal, MechStyle, MpcEvaluator};
-use crate::setup::{build_session_setup, SessionSetup, SetupCounters};
+use crate::setup::{SessionSetup, SetupCounters};
 
 /// Finds the top-level aggregation statement `var = sum(<db view>)`,
 /// returning the bound variable name and the index of the statement
@@ -163,6 +164,13 @@ pub struct ExecutionConfig {
     /// thread count: all randomness is drawn in serial phases, and the
     /// ⊞-reduction uses a fixed combine tree.
     pub par: ParConfig,
+    /// Network fabric for the simulated MPC engines. `None` falls back
+    /// to the process-wide default ([`arboretum_net::global_fabric`])
+    /// and then [`FabricKind::Sim`]. Every fabric produces bitwise
+    /// identical outputs, metrics, and detections — this knob trades
+    /// transport mechanics (in-process queues vs. the virtual-time
+    /// evented core), not semantics.
+    pub fabric: Option<FabricKind>,
 }
 
 impl Default for ExecutionConfig {
@@ -179,6 +187,7 @@ impl Default for ExecutionConfig {
             },
             p_max: 1e-9,
             par: ParConfig::auto(),
+            fabric: None,
         }
     }
 }
@@ -422,7 +431,13 @@ fn execute_inner(
             s
         }
         None => {
-            built_setup = build_session_setup(deployment, m, cfg.seed, &mut rng)?;
+            built_setup = crate::setup::build_session_setup_on(
+                deployment,
+                m,
+                cfg.seed,
+                &mut rng,
+                FabricKind::resolve(cfg.fabric, FabricKind::Sim),
+            )?;
             &built_setup
         }
     };
@@ -887,7 +902,13 @@ fn execute_inner(
     // ---- Decryption to shares (§5.4). ----
     let counts_raw = bgv_decrypt(&ctx, sk, &total_ct);
     let counts: Vec<i64> = counts_raw[..categories].iter().map(|&v| v as i64).collect();
-    let mut mpc = MpcEngine::new(m, t, true, cfg.seed ^ x0p5_tag());
+    let mut mpc = MpcEngine::new_on(
+        m,
+        t,
+        true,
+        cfg.seed ^ x0p5_tag(),
+        FabricKind::resolve(cfg.fabric, FabricKind::Sim),
+    );
     // Charge the distributed-decryption cost.
     inject_with_cost(
         &mut mpc,

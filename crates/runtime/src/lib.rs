@@ -19,6 +19,7 @@ pub mod mpc_eval;
 pub mod net_exec;
 pub mod session;
 pub mod setup;
+pub mod wave;
 
 pub use adversary::{
     Adversary, CommitteeBehavior, Detection, DetectionClass, DetectionKind, DeviceBehavior,
@@ -32,7 +33,10 @@ pub use executor::{
 pub use mpc_eval::{MVal, MechStyle, MpcEvalError, MpcEvaluator};
 pub use net_exec::{
     run_concurrent, run_concurrent_sharded, run_with_failover, NetExecConfig, NetExecError,
-    NetExecReport, NetParty,
+    NetExecReport, NetFabric, NetParty,
 };
 pub use session::{reassign_for_churn, QueryRecord, Session, SessionError};
-pub use setup::{build_session_setup, SessionSetup, SetupCounters, SETUP_ROLES};
+pub use setup::{
+    build_session_setup, build_session_setup_on, SessionSetup, SetupCounters, SETUP_ROLES,
+};
+pub use wave::{run_wave, WaveConfig, WaveReport};

@@ -17,14 +17,71 @@ use std::time::Duration;
 use arboretum_field::FGold;
 use arboretum_mpc::{shared_dealer, LatencyModel, MpcError, Party};
 use arboretum_net::{
-    threaded_fabric, FaultPlan, FaultyTransport, ThreadedConfig, ThreadedEndpoint, TransportMetrics,
+    evented_fabric, threaded_fabric, EventedConfig, EventedEndpoint, FabricKind, FaultPlan,
+    FaultyTransport, Message, NetError, ThreadedConfig, ThreadedEndpoint, Transport,
+    TransportMetrics,
 };
 
 use crate::session::reassign_for_churn;
 
-/// The transport each committee member runs on: the threaded fabric with
-/// a fault schedule layered on top.
-pub type NetParty = Party<FaultyTransport<ThreadedEndpoint>>;
+/// One committee member's transport, on whichever fabric the config
+/// selected: the threaded fabric with a fault-schedule wrapper, or an
+/// evented endpoint with the same fault schedule expressed as
+/// virtual-clock events. Both produce bitwise-identical outputs,
+/// metrics, and typed failure outcomes at a fixed seed.
+pub enum NetFabric {
+    /// A threaded endpoint wrapped in a [`FaultyTransport`].
+    Threaded(Box<FaultyTransport<ThreadedEndpoint>>),
+    /// An evented endpoint (faults are injected inside the core).
+    Evented(EventedEndpoint),
+}
+
+impl Transport for NetFabric {
+    fn parties(&self) -> usize {
+        match self {
+            Self::Threaded(t) => t.parties(),
+            Self::Evented(t) => t.parties(),
+        }
+    }
+
+    fn local_party(&self) -> Option<usize> {
+        match self {
+            Self::Threaded(t) => t.local_party(),
+            Self::Evented(t) => t.local_party(),
+        }
+    }
+
+    fn send(&mut self, from: usize, to: usize, msg: &Message) -> Result<usize, NetError> {
+        match self {
+            Self::Threaded(t) => t.send(from, to, msg),
+            Self::Evented(t) => t.send(from, to, msg),
+        }
+    }
+
+    fn recv(&mut self, at: usize, from: usize) -> Result<Message, NetError> {
+        match self {
+            Self::Threaded(t) => t.recv(at, from),
+            Self::Evented(t) => t.recv(at, from),
+        }
+    }
+
+    fn round(&mut self, at: usize) {
+        match self {
+            Self::Threaded(t) => t.round(at),
+            Self::Evented(t) => t.round(at),
+        }
+    }
+
+    fn metrics(&self) -> TransportMetrics {
+        match self {
+            Self::Threaded(t) => t.metrics(),
+            Self::Evented(t) => t.metrics(),
+        }
+    }
+}
+
+/// The transport each committee member runs on.
+pub type NetParty = Party<NetFabric>;
 
 /// Configuration for a threaded, failover-capable execution.
 #[derive(Clone, Debug)]
@@ -49,6 +106,14 @@ pub struct NetExecConfig {
     pub dealer_seed: u64,
     /// Seed for the per-party protocol RNGs.
     pub party_seed: u64,
+    /// Which fabric committee traffic crosses. `None` resolves through
+    /// the process-wide default installed by the CLI's `--fabric` flag,
+    /// then falls back to [`FabricKind::Threaded`] (the historical
+    /// behavior). [`FabricKind::Sim`] runs the evented fabric here: the
+    /// instant sim is one act-as-anyone object and cannot host `m`
+    /// concurrent per-party closures, and the evented fabric with zero
+    /// modeled latency is its exact concurrent counterpart.
+    pub fabric: Option<FabricKind>,
 }
 
 impl Default for NetExecConfig {
@@ -63,6 +128,7 @@ impl Default for NetExecConfig {
             faults: Vec::new(),
             dealer_seed: 7,
             party_seed: 99,
+            fabric: None,
         }
     }
 }
@@ -274,6 +340,13 @@ where
 }
 
 /// Runs one committee attempt: `m` threads, one fabric, one dealer.
+///
+/// The fabric comes from `cfg.fabric` (explicit → global `--fabric`
+/// default → threaded). Both backends get the same timeout, latency
+/// matrix, seed, and fault schedule, so their outputs, metrics, and
+/// typed failures are bitwise identical — the evented fabric just
+/// resolves every modeled delay and timeout on its virtual clock
+/// instead of sleeping.
 fn run_committee<F>(
     cfg: &NetExecConfig,
     committee: usize,
@@ -283,14 +356,42 @@ fn run_committee<F>(
 where
     F: Fn(&mut NetParty) -> Result<Vec<FGold>, MpcError> + Send + Sync,
 {
-    let tcfg = ThreadedConfig {
-        timeout: cfg.timeout,
-        latency: cfg.latency.as_ref().map(|l| l.one_way_matrix(cfg.m)),
-        jitter: 0.0,
-        seed: cfg.party_seed ^ committee as u64,
+    let kind = FabricKind::resolve(cfg.fabric, FabricKind::Threaded);
+    let latency = cfg.latency.as_ref().map(|l| l.one_way_matrix(cfg.m));
+    let seed = cfg.party_seed ^ committee as u64;
+    let (endpoints, snapshot): (Vec<NetFabric>, Box<dyn Fn() -> TransportMetrics>) = match kind {
+        FabricKind::Threaded => {
+            let tcfg = ThreadedConfig {
+                timeout: cfg.timeout,
+                latency,
+                jitter: 0.0,
+                seed,
+            };
+            let eps = threaded_fabric(cfg.m, &tcfg);
+            let handle = eps[0].metrics_handle();
+            let eps = eps
+                .into_iter()
+                .map(|ep| NetFabric::Threaded(Box::new(FaultyTransport::new(ep, fault.clone()))))
+                .collect();
+            (eps, Box::new(move || handle.snapshot()))
+        }
+        // The instant sim fabric is one act-as-anyone object and cannot
+        // host m concurrent per-party closures; the evented fabric with
+        // zero wall-clock sleeps is its exact concurrent counterpart.
+        FabricKind::Sim | FabricKind::Evented => {
+            let ecfg = EventedConfig {
+                timeout: cfg.timeout,
+                latency,
+                jitter: 0.0,
+                seed,
+                faults: Some(fault.clone()),
+            };
+            let eps = evented_fabric(cfg.m, &ecfg);
+            let handle = eps[0].metrics_handle();
+            let eps = eps.into_iter().map(NetFabric::Evented).collect();
+            (eps, Box::new(move || handle.snapshot()))
+        }
     };
-    let endpoints = threaded_fabric(cfg.m, &tcfg);
-    let handle = endpoints[0].metrics_handle();
     // Fresh preprocessing per attempt: a reassigned committee starts a
     // clean protocol run with its own dealer material.
     let dealer = shared_dealer(cfg.m, cfg.t, cfg.dealer_seed ^ (committee as u64) << 16);
@@ -299,9 +400,8 @@ where
             .into_iter()
             .map(|ep| {
                 let dealer = dealer.clone();
-                let faulty = FaultyTransport::new(ep, fault.clone());
                 s.spawn(move || {
-                    let mut party = Party::new(cfg.m, cfg.t, faulty, dealer, cfg.party_seed);
+                    let mut party = Party::new(cfg.m, cfg.t, ep, dealer, cfg.party_seed);
                     protocol(&mut party)
                 })
             })
@@ -311,7 +411,7 @@ where
             .map(|h| h.join().expect("party thread must not panic"))
             .collect()
     });
-    (results, handle.snapshot())
+    (results, snapshot())
 }
 
 #[cfg(test)]

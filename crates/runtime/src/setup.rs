@@ -21,6 +21,7 @@ use arboretum_field::fixed::Fix;
 use arboretum_mpc::engine::MpcEngine;
 use arboretum_mpc::fixp::{inject_with_cost, FunctionalityCost};
 use arboretum_mpc::network::NetMetrics;
+use arboretum_net::FabricKind;
 use arboretum_sortition::select::{select_committees, Committees};
 use rand::rngs::StdRng;
 
@@ -95,6 +96,30 @@ pub fn build_session_setup(
     seed: u64,
     rng: &mut StdRng,
 ) -> Result<SessionSetup, ExecError> {
+    build_session_setup_on(
+        deployment,
+        committee_size,
+        seed,
+        rng,
+        FabricKind::resolve(None, FabricKind::Sim),
+    )
+}
+
+/// [`build_session_setup`] on an explicit network fabric. The fabric
+/// only changes transport mechanics for the keygen metering engine —
+/// outputs and metrics are bitwise identical across fabrics.
+///
+/// # Errors
+///
+/// Returns [`ExecError::Unsupported`] if the schema's category count
+/// does not fit the BGV parameter space.
+pub fn build_session_setup_on(
+    deployment: &Deployment,
+    committee_size: usize,
+    seed: u64,
+    rng: &mut StdRng,
+    fabric: FabricKind,
+) -> Result<SessionSetup, ExecError> {
     let m = committee_size;
     let t = (m - 1) / 2;
     let categories = deployment.schema.row_width;
@@ -118,7 +143,7 @@ pub fn build_session_setup(
     let (sk, pk) = bgv_keygen(&ctx, rng);
 
     // Meter the distributed keygen in an MPC engine.
-    let mut keygen_mpc = MpcEngine::new(m, t, true, seed ^ keygen_tag());
+    let mut keygen_mpc = MpcEngine::new_on(m, t, true, seed ^ keygen_tag(), fabric);
     inject_with_cost(
         &mut keygen_mpc,
         Fix::ZERO,

@@ -9,6 +9,7 @@
 //! dumps an artifact under `ADVERSARY_ARTIFACT_DIR` (default
 //! `target/adversary-failures`).
 
+use arboretum_net::FabricKind;
 use arboretum_par::ParConfig;
 use arboretum_testkit::{dump_failure_artifact, run_attack, AttackConfig};
 
@@ -32,9 +33,47 @@ fn assert_pass(cfg: &AttackConfig) {
 }
 
 #[test]
-fn one_hot_seed_sweep_detects_every_injected_behavior() {
+fn one_hot_seed_sweep_detects_every_injected_behavior_on_every_fabric() {
+    // The sweep runs once per fabric; each seed's typed detection set
+    // and surviving answer must be bitwise identical across fabrics.
     for seed in 0..sweep_width() {
-        assert_pass(&AttackConfig::new(seed));
+        let reference = run_attack(&AttackConfig {
+            fabric: Some(FabricKind::Threaded),
+            ..AttackConfig::new(seed)
+        })
+        .unwrap_or_else(|e| panic!("seed {seed} threaded: {e}"));
+        assert!(
+            reference.ok(),
+            "seed {seed} threaded:\n{}",
+            reference.summary()
+        );
+        for kind in [FabricKind::Evented, FabricKind::Sim] {
+            let cfg = AttackConfig {
+                fabric: Some(kind),
+                ..AttackConfig::new(seed)
+            };
+            let got = run_attack(&cfg).unwrap_or_else(|e| panic!("seed {seed} {kind}: {e}"));
+            if !got.ok() {
+                let artifact = dump_failure_artifact(&cfg, &got).ok();
+                panic!(
+                    "seed {seed} failed cross-checks on {kind} (artifact: {artifact:?})\n{}",
+                    got.summary()
+                );
+            }
+            assert_eq!(
+                got.adversarial.detections, reference.adversarial.detections,
+                "seed {seed}: detections drifted between threaded and {kind}"
+            );
+            assert_eq!(
+                got.adversarial.report.outputs, reference.adversarial.report.outputs,
+                "seed {seed}: outputs drifted between threaded and {kind}"
+            );
+            assert_eq!(
+                got.adversarial.report.accepted_inputs,
+                reference.adversarial.report.accepted_inputs,
+                "seed {seed}: accepted inputs drifted between threaded and {kind}"
+            );
+        }
     }
 }
 

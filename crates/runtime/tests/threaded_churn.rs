@@ -1,16 +1,20 @@
-//! Fault-injection × churn-failover integration: a committee member
-//! crashes mid-protocol on the threaded fabric, and the session layer's
-//! churn reassignment moves the task to the next live committee. Every
-//! path is bounded by receive timeouts — these tests also act as the
-//! no-hang guarantee (a wedged run fails the harness timeout, but the
-//! assertions below complete in well under a second of protocol time).
+//! Fault-injection × churn-failover integration, parameterized over all
+//! three fabrics: a committee member crashes mid-protocol, and the
+//! session layer's churn reassignment moves the task to the next live
+//! committee. Every path is bounded by receive timeouts — these tests
+//! also act as the no-hang guarantee (a wedged run fails the harness
+//! timeout, but the assertions below complete in well under a second of
+//! protocol time). Each scenario runs on the threaded, evented, and sim
+//! fabric selections and asserts bitwise-identical outcomes: outputs,
+//! completing committee, failure attribution, and the successful
+//! committee's transport metrics.
 
 use std::time::{Duration, Instant};
 
 use arboretum_field::FGold;
 use arboretum_mpc::{argmax_tournament, MpcError, MpcOps};
-use arboretum_net::FaultPlan;
-use arboretum_runtime::{run_with_failover, NetExecConfig, NetExecError, NetParty};
+use arboretum_net::{FabricKind, FaultPlan};
+use arboretum_runtime::{run_with_failover, NetExecConfig, NetExecError, NetExecReport, NetParty};
 
 /// Beaver multiplication plus a small argmax — enough protocol depth
 /// that a crash after a few transport operations lands mid-run.
@@ -27,6 +31,54 @@ fn expected() -> Vec<FGold> {
     vec![FGold::new(42), FGold::new(42), FGold::new(0)]
 }
 
+/// Runs the scenario on every fabric and asserts the reports are
+/// identical before returning the threaded one.
+fn on_all_fabrics(cfg: &NetExecConfig) -> Result<NetExecReport, NetExecError> {
+    let run = |kind| {
+        run_with_failover(
+            &NetExecConfig {
+                fabric: Some(kind),
+                ..cfg.clone()
+            },
+            demo_protocol,
+        )
+    };
+    let reference = run(FabricKind::Threaded);
+    for kind in [FabricKind::Evented, FabricKind::Sim] {
+        let got = run(kind);
+        match (&reference, &got) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.outputs, b.outputs, "{kind} outputs diverge");
+                assert_eq!(a.committee, b.committee, "{kind} committee diverges");
+                assert_eq!(
+                    a.failures.iter().map(|f| f.0).collect::<Vec<_>>(),
+                    b.failures.iter().map(|f| f.0).collect::<Vec<_>>(),
+                    "{kind} failure attribution diverges"
+                );
+                assert_eq!(a.metrics, b.metrics, "{kind} transport metrics diverge");
+            }
+            // Compare typed outcomes, not error strings: whether a
+            // stalled peer surfaces as Timeout or Closed can race on
+            // the threaded fabric, but the variant and attempt count
+            // are deterministic.
+            (Err(a), Err(b)) => match (a, b) {
+                (
+                    NetExecError::AllCommitteesDead { attempts: x },
+                    NetExecError::AllCommitteesDead { attempts: y },
+                )
+                | (
+                    NetExecError::Exhausted { attempts: x, .. },
+                    NetExecError::Exhausted { attempts: y, .. },
+                ) => assert_eq!(x, y, "{kind} attempt count diverges"),
+                (NetExecError::OutputMismatch, NetExecError::OutputMismatch) => {}
+                (a, b) => panic!("{kind} error variant diverges: threaded={a:?} {kind}={b:?}"),
+            },
+            (a, b) => panic!("fabrics disagree on success: threaded={a:?} {kind}={b:?}"),
+        }
+    }
+    reference
+}
+
 #[test]
 fn crash_mid_protocol_fails_over_to_the_next_committee() {
     // Committee 0: party 3 crashes after 20 transport operations —
@@ -39,7 +91,7 @@ fn crash_mid_protocol_fails_over_to_the_next_committee() {
         ..NetExecConfig::default()
     };
     let start = Instant::now();
-    let report = run_with_failover(&cfg, demo_protocol).unwrap();
+    let report = on_all_fabrics(&cfg).unwrap();
     assert_eq!(report.outputs, expected());
     assert_eq!(report.committee, 1, "the task must move to committee 1");
     assert_eq!(report.failures.len(), 1);
@@ -62,7 +114,7 @@ fn every_committee_faulty_returns_a_typed_error_not_a_hang() {
         ..NetExecConfig::default()
     };
     let start = Instant::now();
-    let err = run_with_failover(&cfg, demo_protocol).unwrap_err();
+    let err = on_all_fabrics(&cfg).unwrap_err();
     match err {
         NetExecError::AllCommitteesDead { attempts } => assert_eq!(attempts, 2),
         NetExecError::Exhausted { attempts, .. } => assert_eq!(attempts, 2),
@@ -90,7 +142,31 @@ fn partition_heals_via_reassignment() {
         timeout: Duration::from_millis(200),
         ..NetExecConfig::default()
     };
-    let report = run_with_failover(&cfg, demo_protocol).unwrap();
+    let report = on_all_fabrics(&cfg).unwrap();
     assert_eq!(report.outputs, expected());
     assert_eq!(report.committee, 1);
+}
+
+#[test]
+fn evented_fault_scenarios_resolve_without_wall_clock_waits() {
+    // The same all-committees-die scenario that costs the threaded
+    // fabric real timeout waits resolves in virtual time on the evented
+    // fabric: the whole failover cascade completes in milliseconds.
+    let cfg = NetExecConfig {
+        committees: 2,
+        faults: vec![Some(FaultPlan::crash(1, 0)), Some(FaultPlan::crash(4, 5))],
+        timeout: Duration::from_millis(150),
+        fabric: Some(FabricKind::Evented),
+        ..NetExecConfig::default()
+    };
+    let start = Instant::now();
+    let err = run_with_failover(&cfg, demo_protocol).unwrap_err();
+    assert!(matches!(
+        err,
+        NetExecError::AllCommitteesDead { .. } | NetExecError::Exhausted { .. }
+    ));
+    assert!(
+        start.elapsed() < Duration::from_millis(2000),
+        "evented timeouts are virtual; no 150 ms real waits should stack up"
+    );
 }

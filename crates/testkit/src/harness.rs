@@ -20,6 +20,7 @@ use arboretum_lang::ast::DbSchema;
 use arboretum_lang::parser::parse;
 use arboretum_lang::privacy::CertifyConfig;
 use arboretum_mpc::MpcOps;
+use arboretum_net::FabricKind;
 use arboretum_par::ParConfig;
 use arboretum_planner::logical::{extract, LogicalPlan};
 use arboretum_planner::plan::Plan;
@@ -59,6 +60,11 @@ pub struct AttackConfig {
     pub net_phase: bool,
     /// Thread configuration for the aggregator's parallel phases.
     pub par: ParConfig,
+    /// Network fabric for the MPC engines and the networked failover
+    /// phase; `None` uses the process-wide default and then each
+    /// consumer's own fallback. Detections and metrics are bitwise
+    /// identical on every fabric.
+    pub fabric: Option<FabricKind>,
 }
 
 impl AttackConfig {
@@ -72,6 +78,7 @@ impl AttackConfig {
             numeric: false,
             net_phase: true,
             par: ParConfig::serial(),
+            fabric: None,
         }
     }
 }
@@ -261,6 +268,7 @@ fn run_attack_impl(
             delta: 1e-6,
         },
         par: cfg.par,
+        fabric: cfg.fabric,
         ..ExecutionConfig::default()
     };
     let mut problems = Vec::new();
@@ -461,6 +469,7 @@ fn run_net_phase(
         committees: cfg.n_committees,
         faults: schedule.fault_plans(),
         timeout: Duration::from_millis(200),
+        fabric: cfg.fabric,
         ..NetExecConfig::default()
     };
     let net = run_with_failover(&net_cfg, protocol).map_err(|e| format!("net phase: {e:?}"))?;
@@ -468,6 +477,7 @@ fn run_net_phase(
         committees: cfg.n_committees,
         faults: Vec::new(),
         timeout: Duration::from_millis(200),
+        fabric: cfg.fabric,
         ..NetExecConfig::default()
     };
     let net_ref =
