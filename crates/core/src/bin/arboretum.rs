@@ -32,6 +32,12 @@
 //!   --no-net              skip the networked-MPC fault phase
 //!   --service             route both runs through a pre-built session
 //!                         catalog (the `serve` execution path)
+//!   --aggregator          enable the malicious-aggregator axis: the §5.3
+//!                         MHT audit must attribute the seed-derived cheat
+//!                         exactly (any mismatch exits non-zero)
+//!   --adaptive            drive the run with an adaptive adversary whose
+//!                         decisions condition on observed traffic (the
+//!                         failure artifact logs every decision)
 //!   --fabric F            fabric for the MPC engines and the networked
 //!                         fault phase: sim | threaded | evented
 //!                         (outcomes are identical on every fabric)
@@ -181,6 +187,14 @@ fn attack(args: &[String]) -> ExitCode {
             }
             "--service" => {
                 service_path = true;
+                Ok(())
+            }
+            "--aggregator" => {
+                cfg.aggregator = true;
+                Ok(())
+            }
+            "--adaptive" => {
+                cfg.adaptive = true;
                 Ok(())
             }
             "--threads" => next(args, &mut i).and_then(|v| {

@@ -164,6 +164,47 @@ impl MpcEngine {
         }
     }
 
+    /// Attaches a passive [`arboretum_net::SharedSink`] observing every
+    /// protocol frame this engine sends, on whichever fabric it runs.
+    /// Observation is read-only: outputs and metrics are unchanged.
+    pub fn set_frame_sink(&mut self, sink: Option<arboretum_net::SharedSink>) {
+        match &mut self.fabric {
+            EngineFabric::Sim(t) => t.set_sink(sink),
+            EngineFabric::Evented(t) => t.set_sink(sink),
+        }
+    }
+
+    /// Materializes `rounds` all-to-all protocol rounds — one field
+    /// element per ordered party pair per round — as real frames on the
+    /// fabric, **without** touching the analytic [`NetMeter`]: callers
+    /// that meter a functionality analytically (`inject_with_cost`)
+    /// already count this traffic, and this gives passive frame
+    /// observers ([`Self::set_frame_sink`]) the wire image of those
+    /// rounds. Deterministic: fixed frame sizes, no RNG draws. Every
+    /// frame is received back, so link queues end empty.
+    pub fn materialize_metered_rounds(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            for p in 0..self.m {
+                for j in 0..self.m {
+                    if j == p {
+                        continue;
+                    }
+                    let msg = self.frame_elems(&[FGold::ZERO]);
+                    self.fabric.send(p, j, &msg).expect("engine fabric");
+                }
+            }
+            #[allow(clippy::needless_range_loop)] // `j` is the receiving party id.
+            for j in 0..self.m {
+                for p in 0..self.m {
+                    if p == j {
+                        continue;
+                    }
+                    self.fabric.recv(j, p).expect("frame in flight");
+                }
+            }
+        }
+    }
+
     /// Frames a batch of elements, appending the MAC companion share per
     /// value in malicious mode (the SPDZ-wise doubling of share
     /// material on the wire).

@@ -23,6 +23,7 @@ use rand::{Rng, SeedableRng};
 
 use super::arena::{ArenaCounters, BufferArena};
 use crate::fault::FaultPlan;
+use crate::observe::SharedSink;
 use crate::transport::{NetError, TransportMetrics};
 use crate::wire::{Message, HEADER_BYTES};
 
@@ -50,6 +51,11 @@ pub struct EventedConfig {
     pub seed: u64,
     /// Optional fault schedule applied natively on the virtual clock.
     pub faults: Option<FaultPlan>,
+    /// Optional passive observer of every frame entering the wire.
+    /// Frames lost to fault-injected drops are not observed, matching
+    /// the threaded fabric (where the `FaultyTransport` wrapper drops
+    /// before the endpoint's send runs).
+    pub sink: Option<SharedSink>,
 }
 
 impl Default for EventedConfig {
@@ -60,6 +66,7 @@ impl Default for EventedConfig {
             jitter: 0.0,
             seed: 0,
             faults: None,
+            sink: None,
         }
     }
 }
@@ -140,6 +147,7 @@ pub(super) struct EventedCore {
     per_party_payload: Vec<u64>,
     per_party_rounds: Vec<u64>,
     metrics: TransportMetrics,
+    sink: Option<SharedSink>,
 }
 
 impl EventedCore {
@@ -189,7 +197,13 @@ impl EventedCore {
             per_party_payload: vec![0; m],
             per_party_rounds: vec![0; m],
             metrics: TransportMetrics::default(),
+            sink: cfg.sink.clone(),
         }
+    }
+
+    /// Attaches a passive [`SharedSink`] observing every sent frame.
+    pub(super) fn set_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink = sink;
     }
 
     pub(super) fn parties(&self) -> usize {
@@ -316,6 +330,9 @@ impl EventedCore {
             .metrics
             .payload_bytes_max
             .max(self.per_party_payload[from]);
+        if let Some(sink) = &self.sink {
+            sink.on_frame(from, to, payload);
+        }
         self.links
             .entry(from as u64 * self.m as u64 + to as u64)
             .or_default()

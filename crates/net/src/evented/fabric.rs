@@ -51,6 +51,12 @@ impl EventedFabric {
         self.core.clock(party)
     }
 
+    /// Attaches a passive [`crate::observe::SharedSink`] observing
+    /// every frame entering the wire.
+    pub fn set_sink(&mut self, sink: Option<crate::observe::SharedSink>) {
+        self.core.set_sink(sink);
+    }
+
     /// Buffer-arena allocation counters (`fresh` bounds the peak number
     /// of frame buffers simultaneously in flight).
     pub fn arena_counters(&self) -> ArenaCounters {

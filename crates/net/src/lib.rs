@@ -18,6 +18,8 @@
 //!   and sparse link queues let one process simulate 10^5–10^6 parties;
 //! - [`fault`] — message loss, party crashes, partitions, and slow
 //!   parties layered over any fabric;
+//! - [`observe`] — passive, read-only frame observation
+//!   ([`FrameSink`]) feeding adaptive adversaries on every fabric;
 //! - [`config`] — the [`FabricKind`] selector and the process-wide
 //!   default installed by the CLI's `--fabric` flag.
 //!
@@ -32,6 +34,7 @@
 pub mod config;
 pub mod evented;
 pub mod fault;
+pub mod observe;
 pub mod sim;
 pub mod threaded;
 pub mod transport;
@@ -43,6 +46,7 @@ pub use evented::{
     EventedMetricsHandle,
 };
 pub use fault::{FaultPlan, FaultyTransport};
+pub use observe::{FrameSink, SharedSink};
 pub use sim::SimTransport;
 pub use threaded::{threaded_fabric, MetricsHandle, ThreadedConfig, ThreadedEndpoint};
 pub use transport::{NetError, Transport, TransportMetrics};

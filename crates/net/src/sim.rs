@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 
+use crate::observe::SharedSink;
 use crate::transport::{NetError, Transport, TransportMetrics};
 use crate::wire::Message;
 
@@ -20,6 +21,7 @@ pub struct SimTransport {
     per_party_payload: Vec<u64>,
     per_party_rounds: Vec<u64>,
     metrics: TransportMetrics,
+    sink: Option<SharedSink>,
 }
 
 impl SimTransport {
@@ -36,7 +38,13 @@ impl SimTransport {
             per_party_payload: vec![0; m],
             per_party_rounds: vec![0; m],
             metrics: TransportMetrics::default(),
+            sink: None,
         }
+    }
+
+    /// Attaches a passive [`SharedSink`] observing every sent frame.
+    pub fn set_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink = sink;
     }
 
     fn check(&self, party: usize) -> Result<(), NetError> {
@@ -72,6 +80,9 @@ impl Transport for SimTransport {
             .metrics
             .payload_bytes_max
             .max(self.per_party_payload[from]);
+        if let Some(sink) = &self.sink {
+            sink.on_frame(from, to, payload);
+        }
         self.queues[from * self.m + to].push_back(frame);
         Ok(payload)
     }

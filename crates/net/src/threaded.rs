@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::observe::SharedSink;
 use crate::transport::{NetError, Transport, TransportMetrics};
 use crate::wire::{Message, HEADER_BYTES};
 
@@ -40,6 +41,10 @@ pub struct ThreadedConfig {
     pub jitter: f64,
     /// Seed for the per-endpoint jitter streams.
     pub seed: u64,
+    /// Optional passive observer of every frame entering the wire.
+    /// Invoked concurrently from every party's thread; see
+    /// [`crate::observe`] for the order-insensitivity contract.
+    pub sink: Option<SharedSink>,
 }
 
 impl Default for ThreadedConfig {
@@ -49,6 +54,7 @@ impl Default for ThreadedConfig {
             latency: None,
             jitter: 0.0,
             seed: 0,
+            sink: None,
         }
     }
 }
@@ -84,6 +90,7 @@ pub struct ThreadedEndpoint {
     jitter: f64,
     rng: StdRng,
     shared: Arc<Mutex<SharedCounters>>,
+    sink: Option<SharedSink>,
 }
 
 /// Builds a fully connected threaded fabric for `m` parties.
@@ -141,6 +148,7 @@ pub fn threaded_fabric(m: usize, cfg: &ThreadedConfig) -> Vec<ThreadedEndpoint> 
                 cfg.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(id as u64 + 1)),
             ),
             shared: shared.clone(),
+            sink: cfg.sink.clone(),
         })
         .collect()
 }
@@ -208,6 +216,9 @@ impl Transport for ThreadedEndpoint {
             delay,
         };
         let framed = (payload + HEADER_BYTES) as u64;
+        if let Some(sink) = &self.sink {
+            sink.on_frame(from, to, payload);
+        }
         self.senders[to]
             .as_ref()
             .expect("non-self link exists")

@@ -44,6 +44,113 @@ pub enum DeviceBehavior {
     WrongBgvCiphertext,
 }
 
+/// What the simulated aggregator (the untrusted server, §5.3) does to
+/// its published step log and audit responses.
+///
+/// Target-bearing variants carry a raw seed-derived `draw` rather than
+/// a resolved step index: which steps exist depends on how many uploads
+/// survive validation, which a schedule cannot know at derivation time.
+/// The executor and the harness both resolve the draw through
+/// [`AggregatorBehavior::expected_kind`] over the realized step layout,
+/// so injection and prediction can never disagree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggregatorBehavior {
+    /// Follows the protocol.
+    Honest,
+    /// Publishes an ⊞-aggregate digest that double-counts the first
+    /// accepted upload (a wrong partial sum, committed consistently).
+    WrongPartialSum,
+    /// Silently drops one accepted upload: the victim's input step is
+    /// published as dropped and the aggregate digest excludes it.
+    DropUpload {
+        /// Seed-derived draw selecting the victim among accepted steps.
+        draw: u64,
+    },
+    /// Tampers with one leaf *after* committing the root, answering
+    /// challenges on it with forged contents and a proof from the
+    /// tampered tree (which cannot verify against the committed root).
+    ForgedLeaf {
+        /// Seed-derived draw selecting the tampered step.
+        draw: u64,
+    },
+    /// Publishes a perturbed Merkle root: every honest inclusion proof
+    /// fails against it.
+    ForgedRoot,
+    /// Swaps two accepted input steps in the published log (the tree is
+    /// rebuilt, so proofs pass but contents sit at the wrong indices).
+    ReorderedSteps {
+        /// Seed-derived draw selecting the earlier of the swapped pair.
+        draw: u64,
+    },
+    /// Answers repeated challenges on one step with two different
+    /// contents (equivocation across auditors).
+    EquivocatingResponses {
+        /// Seed-derived draw selecting the equivocated step.
+        draw: u64,
+    },
+}
+
+impl AggregatorBehavior {
+    /// The exact detection the device-side audit must produce for this
+    /// behavior, given the realized step layout: `ok_steps` are the
+    /// step-log indices of accepted input steps (in acceptance order),
+    /// `agg_step` the ⊞-aggregation step index, and `total_steps` the
+    /// published log length. `None` for honest behavior or when the
+    /// layout is too small to inject (no accepted step to drop, fewer
+    /// than two to reorder) — the executor skips injection in exactly
+    /// those cases, so prediction and injection stay in lockstep.
+    pub fn expected_kind(
+        &self,
+        ok_steps: &[usize],
+        agg_step: usize,
+        total_steps: usize,
+    ) -> Option<DetectionKind> {
+        match *self {
+            Self::Honest => None,
+            Self::WrongPartialSum => Some(DetectionKind::AuditStepMismatch { step: agg_step }),
+            Self::DropUpload { draw } => {
+                if ok_steps.is_empty() {
+                    return None;
+                }
+                let step = ok_steps[(draw % ok_steps.len() as u64) as usize];
+                Some(DetectionKind::AuditDroppedUpload { step })
+            }
+            Self::ForgedLeaf { draw } => Some(DetectionKind::AuditForgedProof {
+                step: (draw % total_steps as u64) as usize,
+            }),
+            Self::ForgedRoot => Some(DetectionKind::AuditRootMismatch),
+            Self::ReorderedSteps { draw } => {
+                if ok_steps.len() < 2 {
+                    return None;
+                }
+                let j = (draw % (ok_steps.len() - 1) as u64) as usize;
+                Some(DetectionKind::AuditReorderedSteps {
+                    earlier: ok_steps[j],
+                    later: ok_steps[j + 1],
+                })
+            }
+            Self::EquivocatingResponses { draw } => Some(DetectionKind::AuditEquivocation {
+                step: (draw % total_steps as u64) as usize,
+            }),
+        }
+    }
+
+    /// The detection class [`Self::expected_kind`] resolves to,
+    /// independent of the realized step layout (assuming the layout is
+    /// large enough to inject into).
+    pub fn expected_class(&self) -> Option<DetectionClass> {
+        match self {
+            Self::Honest => None,
+            Self::WrongPartialSum => Some(DetectionClass::AuditStepMismatch),
+            Self::DropUpload { .. } => Some(DetectionClass::AuditDroppedUpload),
+            Self::ForgedLeaf { .. } => Some(DetectionClass::AuditForgedProof),
+            Self::ForgedRoot => Some(DetectionClass::AuditRootMismatch),
+            Self::ReorderedSteps { .. } => Some(DetectionClass::AuditReorderedSteps),
+            Self::EquivocatingResponses { .. } => Some(DetectionClass::AuditEquivocation),
+        }
+    }
+}
+
 /// What a simulated committee member does (§5.2 certificate + VSR).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CommitteeBehavior {
@@ -74,6 +181,8 @@ pub enum Subject {
         /// The member's device registry index.
         device: usize,
     },
+    /// The aggregator (the untrusted server, §5.3).
+    Aggregator,
 }
 
 /// The typed reason a subject was rejected, with enough indices to
@@ -117,6 +226,40 @@ pub enum DetectionKind {
         /// Evaluation points of the failing subshares.
         subshares: Vec<u64>,
     },
+    /// The published step log commits contents that disagree with the
+    /// honest recomputation at one step (e.g. a wrong partial sum).
+    AuditStepMismatch {
+        /// The mismatching step-log index.
+        step: usize,
+    },
+    /// The published step log records an accepted upload as dropped.
+    AuditDroppedUpload {
+        /// The victim's step-log index.
+        step: usize,
+    },
+    /// A challenge response carried an inclusion proof that fails
+    /// against the committed root (leaf tampered after commitment).
+    AuditForgedProof {
+        /// The step whose proof fails.
+        step: usize,
+    },
+    /// Every challenged inclusion proof fails: the published root does
+    /// not commit the log being served.
+    AuditRootMismatch,
+    /// Two accepted input steps appear at each other's indices in the
+    /// published log.
+    AuditReorderedSteps {
+        /// The smaller step-log index of the swapped pair.
+        earlier: usize,
+        /// The larger step-log index of the swapped pair.
+        later: usize,
+    },
+    /// Repeated challenges on one step were answered with different
+    /// contents.
+    AuditEquivocation {
+        /// The equivocated step-log index.
+        step: usize,
+    },
 }
 
 /// [`DetectionKind`] with the indices erased — the behavior *class*.
@@ -149,6 +292,18 @@ pub enum DetectionClass {
     VsrEquivocation,
     /// See [`DetectionKind::VsrBadSubshares`].
     VsrBadSubshares,
+    /// See [`DetectionKind::AuditStepMismatch`].
+    AuditStepMismatch,
+    /// See [`DetectionKind::AuditDroppedUpload`].
+    AuditDroppedUpload,
+    /// See [`DetectionKind::AuditForgedProof`].
+    AuditForgedProof,
+    /// See [`DetectionKind::AuditRootMismatch`].
+    AuditRootMismatch,
+    /// See [`DetectionKind::AuditReorderedSteps`].
+    AuditReorderedSteps,
+    /// See [`DetectionKind::AuditEquivocation`].
+    AuditEquivocation,
 }
 
 impl DetectionKind {
@@ -166,6 +321,12 @@ impl DetectionKind {
             Self::StaleSignature => DetectionClass::StaleSignature,
             Self::VsrEquivocation => DetectionClass::VsrEquivocation,
             Self::VsrBadSubshares { .. } => DetectionClass::VsrBadSubshares,
+            Self::AuditStepMismatch { .. } => DetectionClass::AuditStepMismatch,
+            Self::AuditDroppedUpload { .. } => DetectionClass::AuditDroppedUpload,
+            Self::AuditForgedProof { .. } => DetectionClass::AuditForgedProof,
+            Self::AuditRootMismatch => DetectionClass::AuditRootMismatch,
+            Self::AuditReorderedSteps { .. } => DetectionClass::AuditReorderedSteps,
+            Self::AuditEquivocation { .. } => DetectionClass::AuditEquivocation,
         }
     }
 }
@@ -245,6 +406,28 @@ pub trait Adversary {
     fn committee_behavior(&self, committee: usize, member: usize) -> CommitteeBehavior {
         let _ = (committee, member);
         CommitteeBehavior::Honest
+    }
+
+    /// Behavior of the aggregator (the untrusted server, §5.3).
+    ///
+    /// Consulted once, immediately before the ⊞-aggregation phase, so
+    /// adaptive implementations decide from the traffic observed up to
+    /// that deterministic barrier.
+    fn aggregator_behavior(&self) -> AggregatorBehavior {
+        AggregatorBehavior::Honest
+    }
+
+    /// A passive frame observer the executor attaches to every
+    /// transport it creates (MPC engines on all fabrics, plus the
+    /// session-setup keygen engine when built inline).
+    ///
+    /// `None` (the default) attaches nothing and the honest path stays
+    /// byte-identical to a run with no adversary. A `Some` sink is the
+    /// message-observing callback adaptive adversaries condition on; it
+    /// is read-only, so attaching one never changes outputs, metrics,
+    /// or detections — only what the adversary knows.
+    fn traffic_sink(&self) -> Option<arboretum_net::SharedSink> {
+        None
     }
 }
 
@@ -381,6 +564,66 @@ mod tests {
         let adv = HonestAdversary;
         assert_eq!(adv.device_behavior(3), DeviceBehavior::Honest);
         assert_eq!(adv.committee_behavior(0, 4), CommitteeBehavior::Honest);
+        assert_eq!(adv.aggregator_behavior(), AggregatorBehavior::Honest);
+        assert!(adv.traffic_sink().is_none());
+    }
+
+    #[test]
+    fn aggregator_expected_kinds_resolve_draws_over_the_step_layout() {
+        let ok_steps: Vec<usize> = (0..10).collect();
+        let (agg, total) = (10, 14);
+        assert_eq!(
+            AggregatorBehavior::WrongPartialSum.expected_kind(&ok_steps, agg, total),
+            Some(DetectionKind::AuditStepMismatch { step: 10 })
+        );
+        assert_eq!(
+            AggregatorBehavior::DropUpload { draw: 23 }.expected_kind(&ok_steps, agg, total),
+            Some(DetectionKind::AuditDroppedUpload { step: 3 })
+        );
+        assert_eq!(
+            AggregatorBehavior::ForgedLeaf { draw: 27 }.expected_kind(&ok_steps, agg, total),
+            Some(DetectionKind::AuditForgedProof { step: 13 })
+        );
+        assert_eq!(
+            AggregatorBehavior::ReorderedSteps { draw: 8 }.expected_kind(&ok_steps, agg, total),
+            Some(DetectionKind::AuditReorderedSteps {
+                earlier: 8,
+                later: 9
+            })
+        );
+        assert_eq!(
+            AggregatorBehavior::EquivocatingResponses { draw: 1 }
+                .expected_kind(&ok_steps, agg, total),
+            Some(DetectionKind::AuditEquivocation { step: 1 })
+        );
+        // Layouts too small to inject into predict no detection.
+        assert_eq!(
+            AggregatorBehavior::DropUpload { draw: 0 }.expected_kind(&[], 0, 4),
+            None
+        );
+        assert_eq!(
+            AggregatorBehavior::ReorderedSteps { draw: 0 }.expected_kind(&[0], 1, 5),
+            None
+        );
+        assert_eq!(
+            AggregatorBehavior::Honest.expected_kind(&ok_steps, agg, total),
+            None
+        );
+        // Classes line up with the resolved kinds.
+        for b in [
+            AggregatorBehavior::WrongPartialSum,
+            AggregatorBehavior::DropUpload { draw: 5 },
+            AggregatorBehavior::ForgedLeaf { draw: 5 },
+            AggregatorBehavior::ForgedRoot,
+            AggregatorBehavior::ReorderedSteps { draw: 5 },
+            AggregatorBehavior::EquivocatingResponses { draw: 5 },
+        ] {
+            assert_eq!(
+                b.expected_kind(&ok_steps, agg, total).map(|k| k.class()),
+                b.expected_class()
+            );
+        }
+        assert_eq!(AggregatorBehavior::Honest.expected_class(), None);
     }
 
     #[test]

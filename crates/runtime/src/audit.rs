@@ -11,6 +11,8 @@ use arboretum_crypto::merkle::{MerkleProof, MerkleTree};
 use arboretum_crypto::sha256::Digest;
 use rand::Rng;
 
+use crate::adversary::DetectionKind;
+
 /// The aggregator's side of the audit: the step log and its tree.
 #[derive(Clone, Debug)]
 pub struct StepLog {
@@ -98,6 +100,145 @@ pub fn audit<R: Rng + ?Sized>(
     true
 }
 
+/// Marker suffix a cheating aggregator's published log carries on an
+/// input step it silently dropped (the honest log records the step as
+/// accepted, so the mismatch is attributable as a dropped upload).
+pub const DROPPED_MARKER: &[u8] = b"-dropped";
+
+/// One auditor challenge against a published (possibly forged) log:
+/// what the responder served, what the device expected, and whether the
+/// inclusion proof verified against the published root.
+#[derive(Clone, Debug)]
+pub struct ChallengeRecord {
+    /// The challenged step index.
+    pub step: usize,
+    /// The contents the responder served.
+    pub contents: Vec<u8>,
+    /// The contents the device's recomputation expects.
+    pub expected: Vec<u8>,
+    /// Whether the served inclusion proof verified against the
+    /// published root.
+    pub proof_ok: bool,
+}
+
+impl ChallengeRecord {
+    /// Whether the served contents match the device's recomputation.
+    pub fn content_ok(&self) -> bool {
+        self.contents == self.expected
+    }
+}
+
+/// Runs the device-side audit against a possibly-malicious responder:
+/// `n_auditors` devices each challenge `k` random steps, verifying the
+/// served inclusion proof against `root` and the served contents
+/// against `recompute`. Every challenge is recorded so the auditors can
+/// pool their evidence through [`collate_detection`].
+///
+/// The responder is `FnMut` deliberately: an equivocating aggregator
+/// answers repeated challenges on the same step differently.
+pub fn adversarial_audit<R: Rng + ?Sized>(
+    total_steps: usize,
+    root: &Digest,
+    n_auditors: usize,
+    k: usize,
+    mut respond: impl FnMut(usize) -> (Vec<u8>, MerkleProof),
+    recompute: impl Fn(usize) -> Vec<u8>,
+    rng: &mut R,
+) -> Vec<ChallengeRecord> {
+    let mut records = Vec::with_capacity(n_auditors * k);
+    for _ in 0..n_auditors {
+        for _ in 0..k {
+            let step = rng.gen_range(0..total_steps);
+            let (contents, proof) = respond(step);
+            let proof_ok = MerkleTree::verify(root, &contents, &proof);
+            records.push(ChallengeRecord {
+                step,
+                expected: recompute(step),
+                contents,
+                proof_ok,
+            });
+        }
+    }
+    records
+}
+
+/// Pools the auditors' challenge records into at most one typed
+/// detection against the aggregator.
+///
+/// The rules are behavior-blind — they look only at the evidence — and
+/// ordered so each §5.3 cheat maps to exactly one class:
+///
+/// 1. a step answered with two different contents is equivocation;
+/// 2. every proof failing means the published root does not commit the
+///    served log;
+/// 3. a step whose proofs fail (while others verify) is a leaf forged
+///    after commitment;
+/// 4. a committed content mismatch carrying the [`DROPPED_MARKER`] is a
+///    dropped upload (the induced aggregate-digest mismatch is the same
+///    root cause, so it is absorbed rather than double-reported);
+/// 5. two mismatched steps holding each other's expected contents are a
+///    reordering;
+/// 6. any remaining committed mismatch (e.g. a wrong partial sum) is a
+///    plain step mismatch, attributed to its smallest step.
+pub fn collate_detection(records: &[ChallengeRecord]) -> Option<DetectionKind> {
+    if records.is_empty() {
+        return None;
+    }
+    use std::collections::BTreeMap;
+    let mut by_step: BTreeMap<usize, Vec<&ChallengeRecord>> = BTreeMap::new();
+    for r in records {
+        by_step.entry(r.step).or_default().push(r);
+    }
+
+    // 1. Equivocation: two distinct answers for one step.
+    for (&step, rs) in &by_step {
+        if rs.iter().any(|r| r.contents != rs[0].contents) {
+            return Some(DetectionKind::AuditEquivocation { step });
+        }
+    }
+    // 2. Root mismatch: no served proof verifies anywhere.
+    if records.iter().all(|r| !r.proof_ok) {
+        return Some(DetectionKind::AuditRootMismatch);
+    }
+    // 3. Forged leaf: a step whose proofs fail against the root.
+    for (&step, rs) in &by_step {
+        if rs.iter().any(|r| !r.proof_ok) {
+            return Some(DetectionKind::AuditForgedProof { step });
+        }
+    }
+    // Remaining classes are committed mismatches: proofs pass, contents
+    // disagree with the recomputation.
+    let mismatched: Vec<(usize, &ChallengeRecord)> = by_step
+        .iter()
+        .filter_map(|(&step, rs)| {
+            let r = rs[0];
+            (!r.content_ok()).then_some((step, r))
+        })
+        .collect();
+    // 4. Dropped upload.
+    for &(step, r) in &mismatched {
+        if r.contents.ends_with(DROPPED_MARKER) {
+            return Some(DetectionKind::AuditDroppedUpload { step });
+        }
+    }
+    // 5. Reordering: a pair of mismatched steps holding each other's
+    //    expected contents.
+    for (i, &(a, ra)) in mismatched.iter().enumerate() {
+        for &(b, rb) in &mismatched[i + 1..] {
+            if ra.contents == rb.expected && rb.contents == ra.expected {
+                return Some(DetectionKind::AuditReorderedSteps {
+                    earlier: a,
+                    later: b,
+                });
+            }
+        }
+    }
+    // 6. Plain committed mismatch.
+    mismatched
+        .first()
+        .map(|&(step, _)| DetectionKind::AuditStepMismatch { step })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +297,88 @@ mod tests {
             }
         }
         assert!(caught);
+    }
+
+    fn record(step: usize, contents: &[u8], expected: &[u8], proof_ok: bool) -> ChallengeRecord {
+        ChallengeRecord {
+            step,
+            contents: contents.to_vec(),
+            expected: expected.to_vec(),
+            proof_ok,
+        }
+    }
+
+    #[test]
+    fn collation_classifies_each_cheat_exactly_once() {
+        // Honest transcript: no detection.
+        assert_eq!(collate_detection(&[record(0, b"a", b"a", true)]), None);
+        assert_eq!(collate_detection(&[]), None);
+        // Equivocation outranks the invalid proof its forged answer carries.
+        assert_eq!(
+            collate_detection(&[
+                record(2, b"x", b"x", true),
+                record(2, b"x-equivocated", b"x", false),
+                record(1, b"y", b"y", true),
+            ]),
+            Some(DetectionKind::AuditEquivocation { step: 2 })
+        );
+        // All proofs failing is a root mismatch, not per-step forgery.
+        assert_eq!(
+            collate_detection(&[record(0, b"a", b"a", false), record(3, b"b", b"b", false)]),
+            Some(DetectionKind::AuditRootMismatch)
+        );
+        // One failing step among verifying ones is a forged leaf.
+        assert_eq!(
+            collate_detection(&[
+                record(0, b"a", b"a", true),
+                record(3, b"b-forged", b"b", false),
+            ]),
+            Some(DetectionKind::AuditForgedProof { step: 3 })
+        );
+        // The dropped marker wins over the induced aggregate mismatch.
+        assert_eq!(
+            collate_detection(&[
+                record(1, b"input-1-dropped", b"input-1-ok", true),
+                record(9, b"sum:222", b"sum:111", true),
+            ]),
+            Some(DetectionKind::AuditDroppedUpload { step: 1 })
+        );
+        // Swapped contents collate to one reordering.
+        assert_eq!(
+            collate_detection(&[
+                record(4, b"input-5-ok", b"input-4-ok", true),
+                record(5, b"input-4-ok", b"input-5-ok", true),
+            ]),
+            Some(DetectionKind::AuditReorderedSteps {
+                earlier: 4,
+                later: 5
+            })
+        );
+        // A lone committed mismatch is a step mismatch.
+        assert_eq!(
+            collate_detection(&[record(9, b"sum:222", b"sum:111", true)]),
+            Some(DetectionKind::AuditStepMismatch { step: 9 })
+        );
+    }
+
+    #[test]
+    fn adversarial_audit_records_every_challenge() {
+        let log = StepLog::new(steps(16));
+        let root = log.root();
+        let honest = steps(16);
+        let mut rng = StdRng::seed_from_u64(5);
+        let records = adversarial_audit(
+            log.len(),
+            &root,
+            10,
+            3,
+            |i| log.respond(i),
+            |i| honest[i].clone(),
+            &mut rng,
+        );
+        assert_eq!(records.len(), 30);
+        assert!(records.iter().all(|r| r.proof_ok && r.content_ok()));
+        assert_eq!(collate_detection(&records), None);
     }
 
     #[test]

@@ -41,10 +41,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::adversary::{
-    ciphertext_digest, forge_one_hot, Adversary, CommitteeBehavior, Detection, DetectionKind,
-    DeviceBehavior, Subject,
+    ciphertext_digest, forge_one_hot, Adversary, AggregatorBehavior, CommitteeBehavior, Detection,
+    DetectionKind, DeviceBehavior, Subject,
 };
-use crate::audit::{audit, challenges_per_device, StepLog};
+use crate::audit::{
+    adversarial_audit, audit, challenges_per_device, collate_detection, StepLog, DROPPED_MARKER,
+};
 use crate::mpc_eval::{MVal, MechStyle, MpcEvaluator};
 use crate::setup::{SessionSetup, SetupCounters};
 
@@ -415,6 +417,10 @@ fn execute_inner(
     let n = deployment.db.len();
     let m = cfg.committee_size;
     let t = (m - 1) / 2;
+    // Message-observing callback for adaptive adversaries: attached to
+    // every transport this execution creates. Read-only, so a `None`
+    // (or even a `Some`) sink never changes outputs or metrics.
+    let traffic_sink = adversary.and_then(|a| a.traffic_sink());
 
     // ---- Setup (§5.1–§5.2): cached in a session catalog, or built
     // inline exactly as the one-shot path always has (sortition, BGV
@@ -431,12 +437,13 @@ fn execute_inner(
             s
         }
         None => {
-            built_setup = crate::setup::build_session_setup_on(
+            built_setup = crate::setup::build_session_setup_observed(
                 deployment,
                 m,
                 cfg.seed,
                 &mut rng,
                 FabricKind::resolve(cfg.fabric, FabricKind::Sim),
+                traffic_sink.clone(),
             )?;
             &built_setup
         }
@@ -531,6 +538,10 @@ fn execute_inner(
     let mut accepted: Vec<Ciphertext> = Vec::new();
     let mut rejected = 0usize;
     let mut step_results: Vec<Vec<u8>> = Vec::new();
+    // Step-log indices of accepted input steps, in acceptance order:
+    // `ok_steps[j]` is the step recording `accepted[j]`. The aggregator
+    // behaviors target these (drop a victim, reorder a pair).
+    let mut ok_steps: Vec<usize> = Vec::new();
     let one_hot_schema = deployment.schema.one_hot;
     let range_bits = {
         let span = (deployment.schema.hi - deployment.schema.lo).max(1) as u64;
@@ -781,6 +792,7 @@ fn execute_inner(
                 continue;
             }
         }
+        ok_steps.push(step_results.len());
         step_results.push(format!("input-{i}-ok").into_bytes());
         accepted.push(ct);
     }
@@ -799,6 +811,24 @@ fn execute_inner(
         .vignettes
         .iter()
         .any(|v| matches!(v.op, PhysOp::SumTree { .. }));
+    // The aggregator hook is consulted exactly once, at this barrier —
+    // the last deterministic serial point before the ⊞ phase. Behaviors
+    // that perturb the *published* log need ciphertexts the ⊞ kernels
+    // consume by value, so the cheat's raw material is cloned up front.
+    let agg_behavior = adversary
+        .map(|a| a.aggregator_behavior())
+        .unwrap_or(AggregatorBehavior::Honest);
+    let wrong_sum_extra = match agg_behavior {
+        AggregatorBehavior::WrongPartialSum => accepted.first().cloned(),
+        _ => None,
+    };
+    let drop_victim = match agg_behavior {
+        AggregatorBehavior::DropUpload { draw } if !accepted.is_empty() => {
+            let j = (draw % accepted.len() as u64) as usize;
+            Some((j, accepted[j].clone()))
+        }
+        _ => None,
+    };
     let total_ct = if uses_tree {
         // Tree: group inputs, sum groups (on devices), then sum partials.
         let fanout = plan
@@ -814,18 +844,27 @@ fn execute_inner(
         }
         let mut partials =
             arboretum_bgv::par_sum_chunks_sharded(shard_set, &ctx, accepted, fanout.max(2));
-        step_results.push(b"sum-tree-level-0".to_vec());
         while partials.len() > 1 {
             partials =
                 arboretum_bgv::par_sum_chunks_sharded(shard_set, &ctx, partials, fanout.max(2));
         }
         partials.remove(0)
     } else {
-        let total = arboretum_bgv::par_sum_sharded(shard_set, &ctx, accepted)
-            .ok_or_else(|| ExecError::Unsupported("no accepted inputs".into()))?;
-        step_results.push(b"aggregator-sum".to_vec());
-        total
+        arboretum_bgv::par_sum_sharded(shard_set, &ctx, accepted)
+            .ok_or_else(|| ExecError::Unsupported("no accepted inputs".into()))?
     };
+    // The ⊞ step commits its label *and* the aggregate's digest, so a
+    // wrong partial sum is observable evidence in the step log rather
+    // than an invisible lie.
+    let agg_label: &[u8] = if uses_tree {
+        b"sum-tree-level-0"
+    } else {
+        b"aggregator-sum"
+    };
+    let agg_step = step_results.len();
+    let mut agg_contents = agg_label.to_vec();
+    agg_contents.extend_from_slice(&ciphertext_digest(&total_ct));
+    step_results.push(agg_contents);
     let aggregate_pool: Vec<PoolStats> = shard_set
         .stats()
         .iter()
@@ -909,6 +948,7 @@ fn execute_inner(
         cfg.seed ^ x0p5_tag(),
         FabricKind::resolve(cfg.fabric, FabricKind::Sim),
     );
+    mpc.set_frame_sink(traffic_sink.clone());
     // Charge the distributed-decryption cost.
     inject_with_cost(
         &mut mpc,
@@ -974,6 +1014,106 @@ fn execute_inner(
         }
     }
 
+    // ---- Adversarial aggregator (§5.3): the cheat perturbs what the
+    // server *publishes* — log, root, or challenge responses — while
+    // the honest values stay in the pipeline, so the run detects and
+    // recovers: outputs, budget, and the audit verdict above remain
+    // bitwise identical to an honest replay, plus exactly one typed
+    // detection. The device audit draws from its own derived RNG
+    // stream, keeping the main stream byte-identical to `execute`. ----
+    if agg_behavior != AggregatorBehavior::Honest
+        && agg_behavior
+            .expected_kind(&ok_steps, agg_step, log.len())
+            .is_some()
+    {
+        let mut published_steps = honest.clone();
+        let mut published_root = root;
+        // Responder state for post-commitment cheats: a tampered tree
+        // (ForgedLeaf) or an alternating second answer (Equivocation).
+        let mut tampered: Option<(usize, StepLog)> = None;
+        let mut equivocation: Option<(usize, StepLog)> = None;
+        match agg_behavior {
+            AggregatorBehavior::WrongPartialSum => {
+                let extra = wrong_sum_extra.as_ref().expect("accepted is non-empty");
+                let forged = arboretum_bgv::scheme::add(&ctx, &total_ct, extra);
+                let mut contents = agg_label.to_vec();
+                contents.extend_from_slice(&ciphertext_digest(&forged));
+                published_steps[agg_step] = contents;
+                published_root = StepLog::new(published_steps.clone()).root();
+            }
+            AggregatorBehavior::DropUpload { .. } => {
+                let (j, victim_ct) = drop_victim.as_ref().expect("accepted is non-empty");
+                let victim_step = ok_steps[*j];
+                let mut dropped = honest[victim_step]
+                    .strip_suffix(b"-ok")
+                    .expect("ok-step contents end in -ok")
+                    .to_vec();
+                dropped.extend_from_slice(DROPPED_MARKER);
+                published_steps[victim_step] = dropped;
+                let forged = arboretum_bgv::scheme::sub(&ctx, &total_ct, victim_ct);
+                let mut contents = agg_label.to_vec();
+                contents.extend_from_slice(&ciphertext_digest(&forged));
+                published_steps[agg_step] = contents;
+                published_root = StepLog::new(published_steps.clone()).root();
+            }
+            AggregatorBehavior::ForgedLeaf { draw } => {
+                let step = (draw % log.len() as u64) as usize;
+                let mut forged_steps = honest.clone();
+                forged_steps[step].extend_from_slice(b"-forged");
+                tampered = Some((step, StepLog::new(forged_steps)));
+            }
+            AggregatorBehavior::ForgedRoot => {
+                published_root[0] ^= 0x01;
+            }
+            AggregatorBehavior::ReorderedSteps { draw } => {
+                let j = (draw % (ok_steps.len() - 1) as u64) as usize;
+                published_steps.swap(ok_steps[j], ok_steps[j + 1]);
+                published_root = StepLog::new(published_steps.clone()).root();
+            }
+            AggregatorBehavior::EquivocatingResponses { draw } => {
+                let step = (draw % log.len() as u64) as usize;
+                let mut forged_steps = honest.clone();
+                forged_steps[step].extend_from_slice(b"-equivocated");
+                equivocation = Some((step, StepLog::new(forged_steps)));
+            }
+            AggregatorBehavior::Honest => unreachable!("guarded above"),
+        }
+        let published = StepLog::new(published_steps);
+        let mut equiv_hits = 0usize;
+        let respond = |i: usize| {
+            if let Some((step, forged)) = &tampered {
+                if i == *step {
+                    return forged.respond(i);
+                }
+            }
+            if let Some((step, forged)) = &equivocation {
+                if i == *step {
+                    equiv_hits += 1;
+                    if equiv_hits.is_multiple_of(2) {
+                        return forged.respond(i);
+                    }
+                }
+            }
+            published.respond(i)
+        };
+        let mut audit_rng = StdRng::seed_from_u64(cfg.seed ^ aggregator_audit_tag());
+        let records = adversarial_audit(
+            log.len(),
+            &published_root,
+            n.min(50),
+            k,
+            respond,
+            |i| honest[i].clone(),
+            &mut audit_rng,
+        );
+        if let Some(kind) = collate_detection(&records) {
+            detections.push(Detection {
+                subject: Subject::Aggregator,
+                kind,
+            });
+        }
+    }
+
     // Merge MPC metrics. The keygen-MPC cost is charged to whoever
     // performed the keygen: the one-shot path merges it here; the
     // session-catalog path paid it once at setup build time, so cached
@@ -1034,4 +1174,8 @@ fn x0p5_tag() -> u64 {
 
 fn upload_tag() -> u64 {
     _tag(b"phase-a-uploads")
+}
+
+fn aggregator_audit_tag() -> u64 {
+    _tag(b"aggregator-audit")
 }

@@ -22,10 +22,13 @@ pub mod setup;
 pub mod wave;
 
 pub use adversary::{
-    Adversary, CommitteeBehavior, Detection, DetectionClass, DetectionKind, DeviceBehavior,
-    HonestAdversary, Subject,
+    Adversary, AggregatorBehavior, CommitteeBehavior, Detection, DetectionClass, DetectionKind,
+    DeviceBehavior, HonestAdversary, Subject,
 };
-pub use audit::{audit, challenges_per_device, StepLog};
+pub use audit::{
+    adversarial_audit, audit, challenges_per_device, collate_detection, ChallengeRecord, StepLog,
+    DROPPED_MARKER,
+};
 pub use executor::{
     execute, execute_on_setup, execute_with_adversary, AdversarialReport, Deployment, ExecError,
     ExecutionConfig, ExecutionReport, QueryCert,
@@ -37,6 +40,7 @@ pub use net_exec::{
 };
 pub use session::{reassign_for_churn, QueryRecord, Session, SessionError};
 pub use setup::{
-    build_session_setup, build_session_setup_on, SessionSetup, SetupCounters, SETUP_ROLES,
+    build_session_setup, build_session_setup_observed, build_session_setup_on, SessionSetup,
+    SetupCounters, SETUP_ROLES,
 };
 pub use wave::{run_wave, WaveConfig, WaveReport};

@@ -114,6 +114,12 @@ pub struct NetExecConfig {
     /// concurrent per-party closures, and the evented fabric with zero
     /// modeled latency is its exact concurrent counterpart.
     pub fabric: Option<FabricKind>,
+    /// Optional passive frame observer attached to every committee's
+    /// fabric (both backends). Observation is read-only and never
+    /// changes outputs, metrics, or timing decisions; on the threaded
+    /// backend the sink is invoked concurrently from many OS threads,
+    /// so sinks must be order-insensitive.
+    pub sink: Option<arboretum_net::SharedSink>,
 }
 
 impl Default for NetExecConfig {
@@ -129,6 +135,7 @@ impl Default for NetExecConfig {
             dealer_seed: 7,
             party_seed: 99,
             fabric: None,
+            sink: None,
         }
     }
 }
@@ -366,6 +373,7 @@ where
                 latency,
                 jitter: 0.0,
                 seed,
+                sink: cfg.sink.clone(),
             };
             let eps = threaded_fabric(cfg.m, &tcfg);
             let handle = eps[0].metrics_handle();
@@ -385,6 +393,7 @@ where
                 jitter: 0.0,
                 seed,
                 faults: Some(fault.clone()),
+                sink: cfg.sink.clone(),
             };
             let eps = evented_fabric(cfg.m, &ecfg);
             let handle = eps[0].metrics_handle();

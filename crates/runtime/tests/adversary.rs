@@ -133,6 +133,225 @@ fn detections_and_outputs_identical_across_threads_and_shards() {
 }
 
 #[test]
+fn aggregator_seed_sweep_yields_exactly_one_exact_detection_on_every_fabric() {
+    // `seed % 6` walks the whole AggregatorBehavior catalog, so the
+    // 16-seed sweep covers every behavior at least twice. Each seed
+    // must produce exactly one Subject::Aggregator detection carrying
+    // the exact predicted kind (step attribution included), with
+    // outputs/budget/audit bitwise identical to the honest reference —
+    // both already enforced by the harness cross-checks — and the
+    // detection set identical across all three fabrics.
+    use arboretum_runtime::Subject;
+    for seed in 0..sweep_width() {
+        let mk = |fabric| AttackConfig {
+            fabric: Some(fabric),
+            net_phase: false,
+            aggregator: true,
+            ..AttackConfig::new(seed)
+        };
+        let cfg = mk(FabricKind::Threaded);
+        let reference = run_attack(&cfg).unwrap_or_else(|e| panic!("seed {seed} threaded: {e}"));
+        if !reference.ok() {
+            let artifact = dump_failure_artifact(&cfg, &reference).ok();
+            panic!(
+                "seed {seed} failed aggregator cross-checks (artifact: {artifact:?})\n{}",
+                reference.summary()
+            );
+        }
+        let expected = reference
+            .expected_aggregator
+            .clone()
+            .expect("aggregator axis predicts a kind");
+        let agg: Vec<_> = reference
+            .adversarial
+            .detections
+            .iter()
+            .filter(|d| d.subject == Subject::Aggregator)
+            .collect();
+        assert_eq!(
+            agg.len(),
+            1,
+            "seed {seed}: want exactly one aggregator detection"
+        );
+        assert_eq!(agg[0].kind, expected, "seed {seed}: wrong step attribution");
+        for kind in [FabricKind::Evented, FabricKind::Sim] {
+            let got = run_attack(&mk(kind)).unwrap_or_else(|e| panic!("seed {seed} {kind}: {e}"));
+            assert!(got.ok(), "seed {seed} {kind}:\n{}", got.summary());
+            assert_eq!(
+                got.adversarial.detections, reference.adversarial.detections,
+                "seed {seed}: aggregator detections drifted between threaded and {kind}"
+            );
+            assert_eq!(
+                got.adversarial.report.outputs,
+                reference.adversarial.report.outputs
+            );
+        }
+    }
+}
+
+#[test]
+fn adaptive_sweep_replays_deterministically_across_threads_shards_and_fabrics() {
+    // Satellite: adaptive decisions are a pure function of
+    // (seed, observed-transcript-prefix), so the full decision log —
+    // subject, transcript digest, draw, and choice per decision — must
+    // be identical across thread counts, shard counts, and fabrics. A
+    // divergence dumps the replayable decision-log artifact.
+    for seed in 0..sweep_width().min(6) {
+        let base_cfg = AttackConfig {
+            fabric: Some(FabricKind::Threaded),
+            net_phase: false,
+            aggregator: true,
+            adaptive: true,
+            ..AttackConfig::new(seed)
+        };
+        let base = run_attack(&base_cfg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        if !base.ok() {
+            let artifact = dump_failure_artifact(&base_cfg, &base).ok();
+            panic!(
+                "seed {seed} failed adaptive cross-checks (artifact: {artifact:?})\n{}",
+                base.summary()
+            );
+        }
+        let base_realized = base.adaptive.as_ref().expect("adaptive run");
+        assert!(!base_realized.decisions.is_empty());
+        for fabric in [FabricKind::Threaded, FabricKind::Evented, FabricKind::Sim] {
+            for threads in [1usize, 8] {
+                for shards in [1usize, 2] {
+                    let cfg = AttackConfig {
+                        fabric: Some(fabric),
+                        par: ParConfig::fixed(threads).with_shards(shards),
+                        ..base_cfg.clone()
+                    };
+                    let got =
+                        run_attack(&cfg).unwrap_or_else(|e| panic!("seed {seed} {fabric}: {e}"));
+                    assert!(
+                        got.ok(),
+                        "seed {seed} {fabric} threads {threads} shards {shards}:\n{}",
+                        got.summary()
+                    );
+                    let realized = got.adaptive.as_ref().expect("adaptive run");
+                    if realized.decisions != base_realized.decisions {
+                        let artifact = dump_failure_artifact(&cfg, &got).ok();
+                        panic!(
+                            "seed {seed}: adaptive decisions diverged at {fabric} threads \
+                             {threads} shards {shards} (replayable artifact: {artifact:?})"
+                        );
+                    }
+                    assert_eq!(got.adversarial.detections, base.adversarial.detections);
+                    assert_eq!(
+                        got.adversarial.report.outputs,
+                        base.adversarial.report.outputs
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_net_phase_respects_realized_fault_decisions() {
+    // With the net phase on, the adaptively chosen fault plans drive
+    // the failover chain, and the harness cross-checks completion on a
+    // survivable committee against the realized (not static) schedule.
+    for seed in [0u64, 4] {
+        let cfg = AttackConfig {
+            adaptive: true,
+            aggregator: true,
+            ..AttackConfig::new(seed)
+        };
+        let outcome = run_attack(&cfg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        if !outcome.ok() {
+            let artifact = dump_failure_artifact(&cfg, &outcome).ok();
+            panic!(
+                "seed {seed} adaptive net phase failed (artifact: {artifact:?})\n{}",
+                outcome.summary()
+            );
+        }
+        let realized = outcome.adaptive.as_ref().expect("adaptive run");
+        assert!(
+            realized.net_faults.is_some(),
+            "net faults were never decided"
+        );
+        assert!(outcome.net.is_some());
+    }
+}
+
+#[test]
+fn honest_aggregator_hook_leaves_no_trace_on_any_fabric() {
+    // An adversary implementing ONLY the aggregator hook — honestly —
+    // must be indistinguishable from no adversary at all: bitwise
+    // identical outputs, certificate, metrics, audit verdict, budget,
+    // and op counters on every fabric. (Timing-bearing pool counters
+    // are excluded by design.)
+    use arboretum_dp::budget::PrivacyCost;
+    use arboretum_lang::parser::parse;
+    use arboretum_lang::privacy::CertifyConfig;
+    use arboretum_planner::logical::extract;
+    use arboretum_planner::search::{plan, PlannerConfig};
+    use arboretum_runtime::{
+        execute, execute_with_adversary, Adversary, AggregatorBehavior, Deployment,
+        ExecutionConfig, ExecutionReport,
+    };
+
+    struct HonestAggregatorOnly;
+    impl Adversary for HonestAggregatorOnly {
+        fn aggregator_behavior(&self) -> AggregatorBehavior {
+            AggregatorBehavior::Honest
+        }
+    }
+
+    fn det_view(r: &ExecutionReport) -> String {
+        format!(
+            "{:?}|{:?}|{}|{}|{:?}|{}|{}|{}|{}|{:?}|{}|{}|{}|{:?}",
+            r.outputs,
+            r.certificate,
+            r.rejected_inputs,
+            r.accepted_inputs,
+            r.mpc_metrics,
+            r.audit_ok,
+            r.mpc_elapsed_estimate_secs,
+            r.budget_after.epsilon.to_bits(),
+            r.budget_after.delta.to_bits(),
+            r.verify_ops,
+            r.aggregate_ops,
+            r.ring_degree,
+            r.verify_pool.len(),
+            r.setup
+        )
+    }
+
+    let assignments: Vec<usize> = (0..30).map(|i| i % 3).collect();
+    let deployment = Deployment::one_hot(&assignments, 3);
+    let program = parse("aggr = sum(db); r = em(aggr, 8.0); output(r);").unwrap();
+    let lp = extract(&program, &deployment.schema, CertifyConfig::default()).unwrap();
+    let (physical, _) = plan(&lp, &PlannerConfig::paper_defaults(1 << 30)).unwrap();
+    for fabric in [FabricKind::Sim, FabricKind::Threaded, FabricKind::Evented] {
+        let cfg = ExecutionConfig {
+            seed: 5,
+            budget: PrivacyCost {
+                epsilon: 100.0,
+                delta: 1e-6,
+            },
+            fabric: Some(fabric),
+            ..ExecutionConfig::default()
+        };
+        let plain = execute(&physical, &lp, &deployment, &cfg).unwrap();
+        let adv = execute_with_adversary(&physical, &lp, &deployment, &cfg, &HonestAggregatorOnly)
+            .unwrap();
+        assert!(
+            adv.detections.is_empty(),
+            "{fabric}: false positives: {:?}",
+            adv.detections
+        );
+        assert_eq!(
+            det_view(&adv.report),
+            det_view(&plain),
+            "{fabric}: honest-aggregator adversary left a trace"
+        );
+    }
+}
+
+#[test]
 fn all_fatal_committees_exhaust_failover_with_typed_error() {
     use arboretum_field::FGold;
     use arboretum_mpc::MpcOps;

@@ -1,0 +1,82 @@
+//! Property-based tests for the §5.3 audit parameter choice.
+//!
+//! `challenges_per_device(steps, n_devices, p_max)` returns the number
+//! of leaves `k` each device audits so a single bad step escapes all
+//! `n_devices` audits with probability at most `p_max`:
+//! `(1 - k/s)^n <= p_max`. These properties pin the closed form
+//! exactly. The vendored proptest harness seeds its RNG from the test
+//! name, so every run draws the same cases — no CI flake surface.
+
+use arboretum_runtime::challenges_per_device;
+use proptest::prelude::*;
+
+/// The escape probability of a fixed bad step when each of `n` devices
+/// audits `k` of `s` steps — the exact expression the bound quantifies
+/// over, recomputed with the same f64 operations as the implementation.
+fn escape(k: usize, s: usize, n: u64) -> f64 {
+    (1.0 - k as f64 / s as f64).powf(n as f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn k_is_never_zero_and_never_exceeds_steps(s in 1usize..200, n in 1u64..10_000, e in 1u32..12) {
+        let p = 10f64.powi(-(e as i32));
+        let k = challenges_per_device(s, n, p);
+        prop_assert!(k >= 1, "steps > 0 must force at least one challenge");
+        prop_assert!(k <= s);
+    }
+
+    #[test]
+    fn k_is_exactly_the_closed_form_bound(s in 1usize..200, n in 1u64..10_000, e in 1u32..12) {
+        // k is the minimal challenge count meeting the target: it
+        // satisfies the bound (unless even auditing every step cannot,
+        // where it clamps to s), and k - 1 does not.
+        let p = 10f64.powi(-(e as i32));
+        let k = challenges_per_device(s, n, p);
+        if k < s {
+            prop_assert!(escape(k, s, n) <= p, "k={k} misses the bound for s={s} n={n} p={p}");
+        }
+        if k > 1 {
+            prop_assert!(escape(k - 1, s, n) > p, "k={k} is not minimal for s={s} n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn escape_probability_is_monotone_in_k(s in 2usize..200, n in 1u64..10_000) {
+        // Auditing more leaves never helps the cheater: the escape
+        // probability is non-increasing in k across the whole range.
+        for k in 1..s {
+            prop_assert!(escape(k + 1, s, n) <= escape(k, s, n));
+        }
+    }
+
+    #[test]
+    fn escape_probability_is_monotone_in_n_devices(s in 1usize..200, n in 1u64..10_000, extra in 1u64..10_000, e in 1u32..12) {
+        // More auditors never help the cheater, at fixed k…
+        let p = 10f64.powi(-(e as i32));
+        let k = challenges_per_device(s, n, p);
+        prop_assert!(escape(k, s, n + extra) <= escape(k, s, n));
+        // …so the required per-device k is non-increasing in n.
+        prop_assert!(challenges_per_device(s, n + extra, p) <= k);
+    }
+
+    #[test]
+    fn k_is_monotone_in_the_miss_target(s in 1usize..200, n in 1u64..10_000, e in 1u32..11) {
+        // A stricter (smaller) p_max can only demand more challenges.
+        let loose = 10f64.powi(-(e as i32));
+        let strict = loose / 10.0;
+        prop_assert!(challenges_per_device(s, n, strict) >= challenges_per_device(s, n, loose));
+    }
+}
+
+#[test]
+fn paper_scale_parameters_stay_modest() {
+    // The harness deployment: 36 steps, 48 devices, p_max = 1e-9 —
+    // every device audits a small constant number of leaves.
+    let k = challenges_per_device(36, 48, 1e-9);
+    assert!((1..36).contains(&k), "k={k}");
+    // At population scale the per-device burden collapses to 1.
+    assert_eq!(challenges_per_device(100, 100_000, 1e-9), 1);
+}

@@ -26,14 +26,15 @@ use arboretum_planner::logical::{extract, LogicalPlan};
 use arboretum_planner::plan::Plan;
 use arboretum_planner::search::{plan as plan_physical, PlannerConfig};
 use arboretum_runtime::{
-    execute, execute_with_adversary, run_with_failover, AdversarialReport, CommitteeBehavior,
-    Deployment, DetectionClass, ExecutionConfig, ExecutionReport, NetExecConfig, NetExecReport,
-    NetParty, Subject,
+    execute, execute_with_adversary, run_with_failover, AdversarialReport, AggregatorBehavior,
+    CommitteeBehavior, Deployment, DetectionClass, DetectionKind, ExecutionConfig, ExecutionReport,
+    NetExecConfig, NetExecReport, NetParty, Subject,
 };
 use arboretum_service::{CatalogConfig, SessionCatalog};
 use arboretum_sortition::select::select_committees;
 
-use crate::schedule::AdversarySchedule;
+use crate::adaptive::{AdaptiveSchedule, RealizedSchedule};
+use crate::schedule::{AdversarySchedule, COMMITTEE_SEATS};
 
 /// Numeric-schema bounds used by the harness: ages 0..=9 per field, two
 /// fields per row, the last pinned to `hi` so the legacy out-of-range
@@ -65,6 +66,16 @@ pub struct AttackConfig {
     /// consumer's own fallback. Detections and metrics are bitwise
     /// identical on every fabric.
     pub fabric: Option<FabricKind>,
+    /// Enable the malicious-aggregator axis: the schedule assigns the
+    /// seed-derived [`AggregatorBehavior`] and the cross-checks demand
+    /// exactly one aggregator detection with the exact predicted
+    /// [`DetectionKind`] (step attribution included).
+    pub aggregator: bool,
+    /// Drive the run with an [`AdaptiveSchedule`] instead of the static
+    /// schedule: every corruption decision becomes a pure function of
+    /// `(seed, observed-transcript-prefix)`, and the cross-checks run
+    /// against the realized decisions.
+    pub adaptive: bool,
 }
 
 impl AttackConfig {
@@ -79,6 +90,8 @@ impl AttackConfig {
             net_phase: true,
             par: ParConfig::serial(),
             fabric: None,
+            aggregator: false,
+            adaptive: false,
         }
     }
 }
@@ -96,6 +109,14 @@ pub struct AttackOutcome {
     pub net: Option<NetExecReport>,
     /// The fault-free networked MPC reference.
     pub net_reference: Option<NetExecReport>,
+    /// The `(subject, class)` detections the schedule predicted — what
+    /// the cross-check compared against.
+    pub expected: Vec<(Subject, DetectionClass)>,
+    /// The exact aggregator detection kind predicted (step attribution
+    /// included), when the aggregator axis is active.
+    pub expected_aggregator: Option<DetectionKind>,
+    /// The realized decision log, when the run was adaptive.
+    pub adaptive: Option<RealizedSchedule>,
     /// Every cross-check that failed, human-readable. Empty = pass.
     pub problems: Vec<String>,
 }
@@ -109,6 +130,12 @@ impl AttackOutcome {
     /// Transcript for CLI output and failure artifacts.
     pub fn summary(&self) -> String {
         let mut out = self.schedule.describe();
+        if let Some(realized) = &self.adaptive {
+            out.push_str(&format!(
+                "adaptive: {} decision(s) conditioned on observed traffic\n",
+                realized.decisions.len()
+            ));
+        }
         out.push_str(&format!(
             "detections: {} (accepted {}, rejected {})\n",
             self.adversarial.detections.len(),
@@ -117,6 +144,13 @@ impl AttackOutcome {
         ));
         for d in &self.adversarial.detections {
             out.push_str(&format!("  {:?}: {:?}\n", d.subject, d.kind));
+        }
+        out.push_str(&format!("expected: {} detection(s)\n", self.expected.len()));
+        for (s, c) in &self.expected {
+            out.push_str(&format!("  {s:?}: {c:?}\n"));
+        }
+        if let Some(kind) = &self.expected_aggregator {
+            out.push_str(&format!("expected aggregator kind: {kind:?}\n"));
         }
         if let Some(net) = &self.net {
             out.push_str(&format!(
@@ -254,7 +288,6 @@ fn run_attack_impl(
     cfg: &AttackConfig,
     catalog: Option<&SessionCatalog>,
 ) -> Result<AttackOutcome, String> {
-    let schedule = AdversarySchedule::new(cfg.seed, cfg.n_devices, cfg.n_committees);
     let (deployment, lp, plan) = build_query(cfg)?;
     if let Some(c) = catalog {
         if c.deployment().db != deployment.db {
@@ -273,16 +306,95 @@ fn run_attack_impl(
     };
     let mut problems = Vec::new();
 
+    // The adversary driving the run: a static seed-derived schedule, or
+    // an adaptive one whose decisions condition on observed traffic.
+    let adaptive_adversary = cfg
+        .adaptive
+        .then(|| AdaptiveSchedule::new(cfg.seed, cfg.n_devices, cfg.aggregator));
+    let static_schedule = (!cfg.adaptive).then(|| {
+        let s = AdversarySchedule::new(cfg.seed, cfg.n_devices, cfg.n_committees);
+        if cfg.aggregator {
+            s.with_malicious_aggregator()
+        } else {
+            s
+        }
+    });
+    let adversary: &dyn arboretum_runtime::Adversary = match (&adaptive_adversary, &static_schedule)
+    {
+        (Some(a), _) => a,
+        (_, Some(s)) => s,
+        _ => unreachable!("exactly one adversary is built"),
+    };
+
     let adversarial = match catalog {
         Some(c) => {
             let (report, detections) = c
-                .execute_raw(&plan, &lp, &exec_cfg, None, Some(&schedule))
+                .execute_raw(&plan, &lp, &exec_cfg, None, Some(adversary))
                 .map_err(|e| format!("adversarial run: {e}"))?;
             AdversarialReport { report, detections }
         }
-        None => execute_with_adversary(&plan, &lp, &deployment, &exec_cfg, &schedule)
+        None => execute_with_adversary(&plan, &lp, &deployment, &exec_cfg, adversary)
             .map_err(|e| format!("adversarial run: {e}"))?,
     };
+
+    // The schedule view the cross-checks run against: the static
+    // schedule verbatim, or the adaptive adversary's realized
+    // decisions reassembled into the same shape.
+    let (schedule, realized) = match &adaptive_adversary {
+        Some(a) => {
+            // Network faults are decided here — after the main
+            // pipeline, conditioned on its whole transcript.
+            let net_faults = a.net_faults(cfg.n_committees);
+            let realized = a.realized();
+            let device_behaviors = (0..cfg.n_devices)
+                .map(|i| {
+                    realized
+                        .device_behaviors
+                        .get(&i)
+                        .copied()
+                        .unwrap_or(arboretum_runtime::DeviceBehavior::Honest)
+                })
+                .collect();
+            let committee_behaviors = (0..cfg.n_committees)
+                .map(|c| {
+                    (0..COMMITTEE_SEATS)
+                        .map(|m| {
+                            realized
+                                .committee_behaviors
+                                .get(&(c, m))
+                                .copied()
+                                .unwrap_or(CommitteeBehavior::Honest)
+                        })
+                        .collect()
+                })
+                .collect();
+            let schedule = AdversarySchedule {
+                seed: cfg.seed,
+                device_behaviors,
+                committee_behaviors,
+                net_faults,
+                aggregator: realized.aggregator.unwrap_or(AggregatorBehavior::Honest),
+            };
+            (schedule, Some(realized))
+        }
+        None => (static_schedule.clone().expect("static adversary"), None),
+    };
+
+    // Predicted detections: devices and committee seats by class, the
+    // aggregator by exact kind (resolved over the harness step layout:
+    // one `input-…-ok` step per honest device, then the ⊞-aggregation
+    // step, decrypt, mechanism, and outputs steps).
+    let n_honest = schedule.n_honest_devices();
+    let harness_ok_steps: Vec<usize> = (0..n_honest).collect();
+    let expected_aggregator =
+        schedule
+            .aggregator
+            .expected_kind(&harness_ok_steps, n_honest, n_honest + 4);
+    let mut expected = expected_detections(&schedule, &deployment, exec_cfg.committee_size);
+    if let Some(kind) = &expected_aggregator {
+        expected.push((Subject::Aggregator, kind.class()));
+    }
+    expected.sort();
 
     // Honest reference: the same query over only the honest devices.
     // The surviving-set answer must match it bitwise — rejecting the
@@ -344,6 +456,8 @@ fn run_attack_impl(
         &exec_cfg,
         &adversarial,
         &reference,
+        &expected,
+        &expected_aggregator,
         &mut problems,
     );
 
@@ -359,23 +473,27 @@ fn run_attack_impl(
         reference,
         net,
         net_reference,
+        expected,
+        expected_aggregator,
+        adaptive: realized,
         problems,
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cross_check_execution(
     schedule: &AdversarySchedule,
     deployment: &Deployment,
     exec_cfg: &ExecutionConfig,
     adversarial: &AdversarialReport,
     reference: &ExecutionReport,
+    expected: &[(Subject, DetectionClass)],
+    expected_aggregator: &Option<DetectionKind>,
     problems: &mut Vec<String>,
 ) {
     // 1. Complete detection with correct typed class and attribution,
     //    and zero false positives: the multiset of (subject, class)
     //    pairs must equal the schedule's prediction exactly.
-    let mut expected = expected_detections(schedule, deployment, exec_cfg.committee_size);
-    expected.sort();
     let mut got: Vec<(Subject, DetectionClass)> = adversarial
         .detections
         .iter()
@@ -386,6 +504,33 @@ fn cross_check_execution(
         problems.push(format!(
             "detection mismatch:\n    expected {expected:?}\n    got      {got:?}"
         ));
+    }
+
+    // 1b. The aggregator detection is exact: one detection carrying the
+    //     precise predicted kind, step attribution included (class
+    //     agreement alone would let a cheat be flagged at the wrong
+    //     step).
+    let agg_kinds: Vec<&DetectionKind> = adversarial
+        .detections
+        .iter()
+        .filter(|d| d.subject == Subject::Aggregator)
+        .map(|d| &d.kind)
+        .collect();
+    match expected_aggregator {
+        Some(kind) => {
+            if agg_kinds.len() != 1 || agg_kinds[0] != kind {
+                problems.push(format!(
+                    "aggregator attribution mismatch: expected exactly one {kind:?}, got {agg_kinds:?}"
+                ));
+            }
+        }
+        None => {
+            if !agg_kinds.is_empty() {
+                problems.push(format!(
+                    "honest aggregator was flagged: {agg_kinds:?} (false positive)"
+                ));
+            }
+        }
     }
 
     // 2. Exactly the honest devices survive input validation.
@@ -520,6 +665,12 @@ fn run_net_phase(
 /// path. The directory comes from `ADVERSARY_ARTIFACT_DIR`, defaulting
 /// to `target/adversary-failures`.
 ///
+/// The artifact is a complete bug report: the reproduce command with
+/// every axis flag, the schedule, the full typed detection list with
+/// per-detection attribution against the prediction, and — for
+/// adaptive runs — the whole decision log (subject, transcript digest,
+/// draw, choice per decision), which replays bitwise from the seed.
+///
 /// # Errors
 ///
 /// Returns the underlying I/O error if the artifact cannot be written.
@@ -532,13 +683,56 @@ pub fn dump_failure_artifact(
     std::fs::create_dir_all(&dir)?;
     let path = PathBuf::from(dir).join(format!("seed-{}.txt", cfg.seed));
     let mut body = format!(
-        "reproduce: cargo run --release --bin arboretum -- attack --seed {}{}\n\n",
+        "reproduce: cargo run --release --bin arboretum -- attack --seed {}{}{}{}\n\n",
         cfg.seed,
-        if cfg.numeric { " --numeric" } else { "" }
+        if cfg.numeric { " --numeric" } else { "" },
+        if cfg.aggregator { " --aggregator" } else { "" },
+        if cfg.adaptive { " --adaptive" } else { "" },
     );
     body.push_str(&outcome.summary());
+
+    // Full typed detection list with attribution verdicts: which
+    // predicted (subject, class) pair each detection matched, and which
+    // predictions went unmatched.
+    body.push_str("\ntyped detections (attribution):\n");
+    let mut unmatched: Vec<(Subject, DetectionClass)> = outcome.expected.clone();
+    for d in &outcome.adversarial.detections {
+        let pair = d.classified();
+        let verdict = match unmatched.iter().position(|e| *e == pair) {
+            Some(i) => {
+                unmatched.remove(i);
+                "matches prediction"
+            }
+            None => "UNEXPECTED (false positive or wrong attribution)",
+        };
+        body.push_str(&format!("  {:?}: {:?} — {verdict}\n", d.subject, d.kind));
+    }
+    for (s, c) in &unmatched {
+        body.push_str(&format!("  MISSING: predicted {s:?}: {c:?} never fired\n"));
+    }
+    if let Some(kind) = &outcome.expected_aggregator {
+        body.push_str(&format!("  aggregator exact-kind requirement: {kind:?}\n"));
+    }
+
+    if let Some(realized) = &outcome.adaptive {
+        body.push_str("\nadaptive decision log (replayable from the seed):\n");
+        for d in &realized.decisions {
+            body.push_str(&format!(
+                "  {} | digest {} | draw {:#018x} | {}\n",
+                d.subject,
+                hex_prefix(&d.digest),
+                d.draw,
+                d.choice
+            ));
+        }
+    }
     std::fs::write(&path, body)?;
     Ok(path)
+}
+
+/// First 8 bytes of a digest as lowercase hex, for compact transcripts.
+fn hex_prefix(digest: &[u8; 32]) -> String {
+    digest[..8].iter().map(|b| format!("{b:02x}")).collect()
 }
 
 #[cfg(test)]
@@ -554,6 +748,55 @@ mod tests {
         let outcome = run_attack(&cfg).expect("attack run failed");
         assert!(outcome.ok(), "problems:\n{}", outcome.summary());
         assert!(!outcome.adversarial.detections.is_empty());
+    }
+
+    #[test]
+    fn smoke_aggregator_axis_yields_exactly_one_exact_detection() {
+        // Seeds 0..6 walk the whole AggregatorBehavior catalog; one is
+        // enough for a smoke test (the runtime sweep covers all 16).
+        let cfg = AttackConfig {
+            net_phase: false,
+            aggregator: true,
+            ..AttackConfig::new(2)
+        };
+        let outcome = run_attack(&cfg).expect("attack run failed");
+        assert!(outcome.ok(), "problems:\n{}", outcome.summary());
+        let expected = outcome.expected_aggregator.as_ref().expect("axis active");
+        let agg: Vec<_> = outcome
+            .adversarial
+            .detections
+            .iter()
+            .filter(|d| d.subject == Subject::Aggregator)
+            .collect();
+        assert_eq!(agg.len(), 1);
+        assert_eq!(&agg[0].kind, expected);
+    }
+
+    #[test]
+    fn smoke_adaptive_run_passes_and_logs_decisions() {
+        let cfg = AttackConfig {
+            net_phase: false,
+            aggregator: true,
+            adaptive: true,
+            ..AttackConfig::new(3)
+        };
+        let outcome = run_attack(&cfg).expect("attack run failed");
+        assert!(outcome.ok(), "problems:\n{}", outcome.summary());
+        let realized = outcome.adaptive.as_ref().expect("adaptive run");
+        assert!(!realized.decisions.is_empty());
+        assert!(realized.aggregator.is_some());
+        // Decisions conditioned on real traffic: the aggregator
+        // decision saw a non-empty transcript.
+        let agg_decision = realized
+            .decisions
+            .iter()
+            .find(|d| d.subject == "aggregator")
+            .expect("aggregator decision logged");
+        assert_ne!(
+            agg_decision.digest,
+            crate::adaptive::TranscriptAccumulator::new().digest(),
+            "aggregator decision conditioned on an empty transcript"
+        );
     }
 
     #[test]
@@ -582,5 +825,30 @@ mod tests {
         };
         let wrong = build_attack_catalog(&other).expect("catalog build failed");
         assert!(run_attack_on_catalog(&cfg, &wrong).is_err());
+    }
+
+    #[test]
+    fn aggregator_and_adaptive_axes_work_through_the_service_path() {
+        // The cached-setup catalog path must support both new axes: the
+        // aggregator cheat is detected with exact attribution, and
+        // adaptive decisions (conditioned on an empty transcript, since
+        // keygen was amortized) replay deterministically.
+        let cfg = AttackConfig {
+            net_phase: false,
+            aggregator: true,
+            adaptive: true,
+            ..AttackConfig::new(4)
+        };
+        let catalog = build_attack_catalog(&cfg).expect("catalog build failed");
+        let a = run_attack_on_catalog(&cfg, &catalog).expect("attack run failed");
+        assert!(a.ok(), "problems:\n{}", a.summary());
+        assert!(a.expected_aggregator.is_some());
+        assert!(a.adversarial.report.setup.is_zero());
+        let b = run_attack_on_catalog(&cfg, &catalog).expect("attack rerun failed");
+        assert_eq!(
+            a.adaptive.as_ref().expect("adaptive").decisions,
+            b.adaptive.as_ref().expect("adaptive").decisions,
+            "service-path adaptive decisions did not replay"
+        );
     }
 }

@@ -24,9 +24,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod harness;
 pub mod schedule;
 
+pub use adaptive::{AdaptiveSchedule, Decision, RealizedSchedule, TranscriptAccumulator};
 pub use harness::{
     build_attack_catalog, dump_failure_artifact, run_attack, run_attack_on_catalog, AttackConfig,
     AttackOutcome,

@@ -17,7 +17,7 @@
 
 use arboretum_crypto::sha256::sha256;
 use arboretum_net::fault::FaultPlan;
-use arboretum_runtime::{Adversary, CommitteeBehavior, DeviceBehavior};
+use arboretum_runtime::{Adversary, AggregatorBehavior, CommitteeBehavior, DeviceBehavior};
 
 /// Committee seats used throughout the simulation (matches
 /// [`arboretum_runtime::ExecutionConfig::committee_size`] and
@@ -25,7 +25,7 @@ use arboretum_runtime::{Adversary, CommitteeBehavior, DeviceBehavior};
 pub const COMMITTEE_SEATS: usize = 5;
 
 /// Devices the executor's sortition needs for its 5 roles × 5 seats.
-const SORTITION_FLOOR: usize = 25;
+pub(crate) const SORTITION_FLOOR: usize = 25;
 
 /// Per-party seconds of added delay for a [`NetFault::Slow`] committee —
 /// well inside the harness timeout, so a slow committee still completes.
@@ -93,6 +93,10 @@ pub struct AdversarySchedule {
     pub committee_behaviors: Vec<Vec<CommitteeBehavior>>,
     /// Per-committee network fault for the networked MPC phase.
     pub net_faults: Vec<NetFault>,
+    /// Aggregator-server behavior for the §5.3 MHT audit
+    /// ([`AggregatorBehavior::Honest`] unless the aggregator axis is
+    /// enabled via [`AdversarySchedule::with_malicious_aggregator`]).
+    pub aggregator: AggregatorBehavior,
 }
 
 /// One deterministic 64-bit draw: SHA-256 over `(seed, domain, index)`.
@@ -194,7 +198,33 @@ impl AdversarySchedule {
             device_behaviors,
             committee_behaviors,
             net_faults,
+            aggregator: AggregatorBehavior::Honest,
         }
+    }
+
+    /// The seed-derived malicious-aggregator behavior: `seed % 6` walks
+    /// the whole [`AggregatorBehavior`] catalog (so any 6 consecutive
+    /// seeds — and a fortiori the CI's 16-seed sweep — cover every
+    /// variant), and draw-carrying variants get a deterministic
+    /// SHA-256 draw resolved against the realized step layout inside
+    /// the executor.
+    pub fn aggregator_axis(seed: u64) -> AggregatorBehavior {
+        let d = draw(seed, b"aggregator", 0);
+        match seed % 6 {
+            0 => AggregatorBehavior::WrongPartialSum,
+            1 => AggregatorBehavior::DropUpload { draw: d },
+            2 => AggregatorBehavior::ForgedLeaf { draw: d },
+            3 => AggregatorBehavior::ForgedRoot,
+            4 => AggregatorBehavior::ReorderedSteps { draw: d },
+            _ => AggregatorBehavior::EquivocatingResponses { draw: d },
+        }
+    }
+
+    /// Enables the aggregator axis: the schedule's aggregator behavior
+    /// becomes [`Self::aggregator_axis`]`(seed)` instead of honest.
+    pub fn with_malicious_aggregator(mut self) -> Self {
+        self.aggregator = Self::aggregator_axis(self.seed);
+        self
     }
 
     /// Registry indices of corrupt devices.
@@ -251,6 +281,9 @@ impl AdversarySchedule {
                 out.push_str(&format!("  net committee {c}: {f:?}\n"));
             }
         }
+        if self.aggregator != AggregatorBehavior::Honest {
+            out.push_str(&format!("  aggregator: {:?}\n", self.aggregator));
+        }
         out
     }
 }
@@ -269,6 +302,10 @@ impl Adversary for AdversarySchedule {
             .and_then(|row| row.get(member))
             .copied()
             .unwrap_or(CommitteeBehavior::Honest)
+    }
+
+    fn aggregator_behavior(&self) -> AggregatorBehavior {
+        self.aggregator
     }
 }
 
@@ -343,6 +380,25 @@ mod tests {
         for (f, p) in s.net_faults.iter().zip(&plans) {
             assert_eq!(*f == NetFault::None, p.is_none());
         }
+    }
+
+    #[test]
+    fn aggregator_axis_covers_the_whole_catalog_and_stays_pure() {
+        use std::collections::HashSet;
+        let mut variants = HashSet::new();
+        for seed in 0..16u64 {
+            let a = AdversarySchedule::new(seed, 48, 3).with_malicious_aggregator();
+            let b = AdversarySchedule::new(seed, 48, 3).with_malicious_aggregator();
+            assert_eq!(a.aggregator, b.aggregator, "seed {seed} not pure");
+            assert_ne!(a.aggregator, AggregatorBehavior::Honest);
+            variants.insert(std::mem::discriminant(&a.aggregator));
+            // The default axis stays honest.
+            assert_eq!(
+                AdversarySchedule::new(seed, 48, 3).aggregator,
+                AggregatorBehavior::Honest
+            );
+        }
+        assert_eq!(variants.len(), 6, "aggregator catalog not covered");
     }
 
     #[test]
