@@ -1,0 +1,58 @@
+//! Old-vs-new sortition benchmark.
+//!
+//! Times the pre-rewrite sortition path (serial naive-ladder ticket
+//! signatures, full-sort seating, per-ticket verification) against the
+//! fast path (fixed-base/Straus exponentiation, O(n) partial selection,
+//! deterministic-combiner batch verification) and writes
+//! `BENCH_sortition.json` into the working directory. Both sides run
+//! single-threaded so the recorded speedup is purely algorithmic.
+//! `--smoke` shrinks populations and iteration counts to finish in
+//! seconds; `--sizes` overrides the benchmarked populations.
+
+use arboretum_bench::sortbench::bench_sortition;
+
+fn main() {
+    let mut sizes: Vec<usize> = vec![1_000, 10_000, 100_000];
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--sizes" => {
+                sizes = args
+                    .next()
+                    .expect("--sizes needs a value")
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--sizes takes numbers"))
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown flag {other}; use --smoke | --sizes A,B,C");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        sizes = vec![500, 2_000];
+    }
+    // Round counts scale inversely with n so every (population, op) cell
+    // gets comparable wall time; each round signs/verifies n tickets.
+    let budget = if smoke { 4_000usize } else { 400_000usize };
+    let bench = bench_sortition(&sizes, |n| (budget / n).clamp(1, 50));
+    println!(
+        "Sortition: {} committees of {}, {} host CPU(s), both sides single-threaded",
+        bench.committees, bench.committee_size, bench.host_cpus
+    );
+    println!(
+        "{:>8} {:>8} {:>6} {:>15} {:>15} {:>8} {:>10}",
+        "n", "op", "reps", "old (ns/dev)", "new (ns/dev)", "speedup", "identical"
+    );
+    for p in &bench.points {
+        println!(
+            "{:>8} {:>8} {:>6} {:>15.0} {:>15.0} {:>7.2}x {:>10}",
+            p.n, p.op, p.reps, p.old_ns_per_device, p.new_ns_per_device, p.speedup, p.identical
+        );
+    }
+    std::fs::write("BENCH_sortition.json", bench.to_json()).expect("write BENCH_sortition.json");
+    println!("wrote BENCH_sortition.json");
+}

@@ -11,6 +11,9 @@
 //! * [`nttbench`] — old-vs-new NTT kernel comparison (division-based
 //!   reference against the Shoup/Barrett rewrite), emitting
 //!   `BENCH_ntt.json`.
+//! * [`sortbench`] — old-vs-new sortition comparison (naive-ladder
+//!   serial reference against the fixed-base/Straus + O(n)-selection +
+//!   batch-verification rewrite), emitting `BENCH_sortition.json`.
 //!
 //! Criterion micro-benchmarks of the substrates (the inputs to the cost
 //! model calibration) live in `benches/`.
@@ -24,4 +27,5 @@ pub mod heterogeneity;
 pub mod netbench;
 pub mod nttbench;
 pub mod parbench;
+pub mod sortbench;
 pub mod validation;

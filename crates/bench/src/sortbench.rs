@@ -1,0 +1,497 @@
+//! Old-vs-new sortition benchmarks (`BENCH_sortition.json` at the repo
+//! root).
+//!
+//! PR 7's evented fabric made the network side of a 10^5-device wave
+//! cheap, leaving sortition's per-device Schnorr tickets as the dominant
+//! cost of a large-population round. The fast path replaces the naive
+//! square-and-multiply under every ticket signature with fixed-base
+//! window tables, seats committees by O(n) partial selection instead of
+//! a full sort, and batch-verifies ticket signatures under a
+//! deterministic random-linear-combination combiner. This harness keeps
+//! a copy of the old path and times both on the same registries,
+//! recording ns/device, the speedup, and — because the rewrite's whole
+//! contract is bitwise-identical committees — whether old and new
+//! agreed.
+//!
+//! Both sides run single-threaded (the new path on a zero-worker inline
+//! pool): the committed numbers are the *algorithmic* win, not a core
+//! count. `select_committees` additionally parallelizes over the
+//! deterministic `par` kernels on multi-core hosts.
+
+use std::time::Instant;
+
+use arboretum_crypto::group::{scalar_from_hash, GroupElem, Scalar};
+use arboretum_crypto::schnorr::{PublicKey, Signature};
+use arboretum_crypto::sha256::{sha256, Digest};
+use arboretum_par::ParConfig;
+use arboretum_sortition::{
+    select_committees_on, sortition_message, verify_tickets_batch, Committees, Device, Registry,
+    Ticket,
+};
+
+/// Committees seated per measured round (matches the executor's five
+/// committee roles).
+pub const BENCH_COMMITTEES: usize = 5;
+
+/// Members per committee.
+pub const BENCH_COMMITTEE_SIZE: usize = 5;
+
+/// The sortition path exactly as it looked before the fast-path PR:
+/// serial ticket generation with a per-device message build, the
+/// portable scalar SHA-256 (hardware-dispatch hashing is one of this
+/// PR's changes, so the baseline keeps the old compression and its
+/// byte-at-a-time padding), per-call HMAC pad derivation, the naive
+/// square-and-multiply ladder under every signature, per-ticket
+/// verification, and a full sort to seat committees. Duplicated here —
+/// like `nttbench`'s division-based reference — because the live crates
+/// now route through the fast paths.
+mod reference {
+    use super::*;
+
+    const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ];
+
+    /// The pre-rewrite incremental SHA-256 (scalar rounds, single-byte
+    /// padding loop in `finalize`), vendored verbatim.
+    pub struct ScalarSha256 {
+        state: [u32; 8],
+        buf: [u8; 64],
+        buf_len: usize,
+        total_len: u64,
+    }
+
+    impl ScalarSha256 {
+        pub fn new() -> Self {
+            Self {
+                state: [
+                    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c,
+                    0x1f83d9ab, 0x5be0cd19,
+                ],
+                buf: [0u8; 64],
+                buf_len: 0,
+                total_len: 0,
+            }
+        }
+
+        pub fn update(&mut self, data: &[u8]) -> &mut Self {
+            self.total_len = self.total_len.wrapping_add(data.len() as u64);
+            let mut data = data;
+            if self.buf_len > 0 {
+                let take = (64 - self.buf_len).min(data.len());
+                self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+                self.buf_len += take;
+                data = &data[take..];
+                if self.buf_len == 64 {
+                    let block = self.buf;
+                    self.compress(&block);
+                    self.buf_len = 0;
+                }
+            }
+            while data.len() >= 64 {
+                let mut block = [0u8; 64];
+                block.copy_from_slice(&data[..64]);
+                self.compress(&block);
+                data = &data[64..];
+            }
+            if !data.is_empty() {
+                self.buf[..data.len()].copy_from_slice(data);
+                self.buf_len = data.len();
+            }
+            self
+        }
+
+        pub fn finalize(mut self) -> Digest {
+            let bit_len = self.total_len.wrapping_mul(8);
+            self.update(&[0x80]);
+            while self.buf_len != 56 {
+                self.update(&[0]);
+            }
+            self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+            let block = self.buf;
+            self.compress(&block);
+            let mut out = [0u8; 32];
+            for (i, w) in self.state.iter().enumerate() {
+                out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+            }
+            out
+        }
+
+        fn compress(&mut self, block: &[u8; 64]) {
+            let mut w = [0u32; 64];
+            for i in 0..16 {
+                w[i] = u32::from_be_bytes([
+                    block[i * 4],
+                    block[i * 4 + 1],
+                    block[i * 4 + 2],
+                    block[i * 4 + 3],
+                ]);
+            }
+            for i in 16..64 {
+                let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+                let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+                w[i] = w[i - 16]
+                    .wrapping_add(s0)
+                    .wrapping_add(w[i - 7])
+                    .wrapping_add(s1);
+            }
+            let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+            for i in 0..64 {
+                let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+                let ch = (e & f) ^ (!e & g);
+                let t1 = h
+                    .wrapping_add(s1)
+                    .wrapping_add(ch)
+                    .wrapping_add(K[i])
+                    .wrapping_add(w[i]);
+                let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+                let maj = (a & b) ^ (a & c) ^ (b & c);
+                let t2 = s0.wrapping_add(maj);
+                h = g;
+                g = f;
+                f = e;
+                e = d.wrapping_add(t1);
+                d = c;
+                c = b;
+                b = a;
+                a = t1.wrapping_add(t2);
+            }
+            for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+                *s = s.wrapping_add(v);
+            }
+        }
+    }
+
+    pub fn scalar_sha256(data: &[u8]) -> Digest {
+        let mut h = ScalarSha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// The pre-rewrite HMAC: pads derived from the key on every call.
+    fn scalar_hmac(key: &[u8], msg: &[u8]) -> Digest {
+        let mut k = [0u8; 64];
+        if key.len() > 64 {
+            let d = scalar_sha256(key);
+            k[..32].copy_from_slice(&d);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; 64];
+        let mut opad = [0x5cu8; 64];
+        for i in 0..64 {
+            ipad[i] ^= k[i];
+            opad[i] ^= k[i];
+        }
+        let inner = {
+            let mut h = ScalarSha256::new();
+            h.update(&ipad);
+            h.update(msg);
+            h.finalize()
+        };
+        let mut h = ScalarSha256::new();
+        h.update(&opad);
+        h.update(&inner);
+        h.finalize()
+    }
+
+    /// Pre-rewrite `Keypair::sign`: identical nonce, challenge, and
+    /// response derivation, but `R = g^k` through the generic ladder and
+    /// every hash through the scalar compression.
+    fn sign(device: &Device, msg: &[u8]) -> Signature {
+        let sk = device.keypair.sk.0;
+        let sk_bytes = sk.value().to_be_bytes();
+        let k = scalar_from_hash(&scalar_hmac(&sk_bytes, msg));
+        let r = GroupElem::generator().pow(k);
+        let e = challenge(&r, &device.keypair.pk, msg);
+        let s = k + e * sk;
+        Signature { r, s }
+    }
+
+    /// The Fiat–Shamir challenge, byte-identical to
+    /// `crypto::schnorr::challenge` (private there).
+    fn challenge(r: &GroupElem, pk: &PublicKey, msg: &[u8]) -> Scalar {
+        let mut h = ScalarSha256::new();
+        h.update(b"arboretum/schnorr");
+        h.update(&r.to_bytes());
+        h.update(&pk.0.to_bytes());
+        h.update(msg);
+        scalar_from_hash(&h.finalize())
+    }
+
+    /// Pre-rewrite `verify`: two independent exponentiation ladders.
+    pub fn verify(pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
+        let e = challenge(&sig.r, pk, msg);
+        GroupElem::generator().pow(sig.s) == sig.r + pk.0.pow(e)
+    }
+
+    /// Pre-rewrite ticket: message rebuilt per device, naive-ladder
+    /// signature.
+    pub fn make_ticket(
+        device: &Device,
+        device_idx: usize,
+        block: &Digest,
+        query_idx: u64,
+    ) -> Ticket {
+        let msg = sortition_message(block, query_idx);
+        let signature = sign(device, &msg);
+        Ticket {
+            device_idx,
+            signature,
+            hash: scalar_sha256(&signature.to_bytes()),
+        }
+    }
+
+    /// Pre-rewrite `select_committees`: serial map, full O(n log n)
+    /// sort. (`sort_by_key(hash)` was a stable sort over tickets already
+    /// in device order, so its outcome equals today's explicit
+    /// `(hash, device_idx)` key.)
+    pub fn select_committees(
+        registry: &Registry,
+        block: &Digest,
+        query_idx: u64,
+        c: usize,
+        m: usize,
+    ) -> Committees {
+        let mut tickets: Vec<Ticket> = registry
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| make_ticket(d, i, block, query_idx))
+            .collect();
+        tickets.sort_by_key(|a| a.hash);
+        let committees = (0..c)
+            .map(|k| {
+                tickets[k * m..(k + 1) * m]
+                    .iter()
+                    .map(|t| t.device_idx)
+                    .collect()
+            })
+            .collect();
+        Committees { committees, m }
+    }
+
+    /// Pre-rewrite round verification: one ladder pair per ticket.
+    pub fn verify_round(
+        registry: &Registry,
+        block: &Digest,
+        query_idx: u64,
+        tickets: &[Ticket],
+    ) -> Result<(), Vec<usize>> {
+        let msg = sortition_message(block, query_idx);
+        let bad: Vec<usize> = tickets
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                let pk = &registry.device(t.device_idx).keypair.pk;
+                !(verify(pk, &msg, &t.signature)
+                    && scalar_sha256(&t.signature.to_bytes()) == t.hash)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(bad)
+        }
+    }
+}
+
+/// One (population, operation) measurement.
+#[derive(Clone, Debug)]
+pub struct SortitionPoint {
+    /// Registered devices.
+    pub n: usize,
+    /// `"select"` (full sortition round) or `"verify"` (round
+    /// verification of all n tickets).
+    pub op: &'static str,
+    /// Timed iterations per side.
+    pub reps: usize,
+    /// Pre-rewrite path, nanoseconds per device.
+    pub old_ns_per_device: f64,
+    /// Fast path, nanoseconds per device.
+    pub new_ns_per_device: f64,
+    /// `old_ns_per_device / new_ns_per_device`.
+    pub speedup: f64,
+    /// Whether both sides produced bitwise-identical results
+    /// (committees for `select`, accept/culprit sets for `verify`).
+    pub identical: bool,
+}
+
+/// The sortition benchmark: one [`SortitionPoint`] per (n, op).
+#[derive(Clone, Debug)]
+pub struct SortitionBench {
+    /// Committees seated per round.
+    pub committees: usize,
+    /// Members per committee.
+    pub committee_size: usize,
+    /// CPUs available to the process — recorded for context only; both
+    /// timed sides are single-threaded.
+    pub host_cpus: usize,
+    /// One measurement per (population, op).
+    pub points: Vec<SortitionPoint>,
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Times `reps` runs of `f` (after one untimed warm-up that also yields
+/// the output for the identity check).
+fn time_rounds<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let out = f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    let ns = start.elapsed().as_nanos() as f64 / reps as f64;
+    (ns, out)
+}
+
+/// Runs the old-vs-new sortition comparison at each population in
+/// `sizes`, timing `reps_for(n)` rounds per side. Registries are built
+/// outside the timed region (device keys exist before a round starts);
+/// each rep signs under a distinct query index so no side can cache a
+/// round.
+pub fn bench_sortition(sizes: &[usize], reps_for: impl Fn(usize) -> usize) -> SortitionBench {
+    let (c, m) = (BENCH_COMMITTEES, BENCH_COMMITTEE_SIZE);
+    let serial = ParConfig::serial().pool();
+    let mut points = Vec::with_capacity(sizes.len() * 2);
+    for &n in sizes {
+        let reps = reps_for(n).max(1);
+        let registry = Registry::new((0..n as u64).map(Device::from_id).collect());
+        let block = sha256(&(n as u64).to_be_bytes());
+
+        // -- select: the full sortition round.
+        let mut q_old = 0u64;
+        let (old_ns, old_sel) = time_rounds(reps, || {
+            q_old += 1;
+            reference::select_committees(&registry, &block, q_old, c, m)
+        });
+        let mut q_new = 0u64;
+        let (new_ns, new_sel) = time_rounds(reps, || {
+            q_new += 1;
+            select_committees_on(&serial, &registry, &block, q_new, c, m)
+        });
+        // Warm-up rounds both used query 0 → directly comparable.
+        let identical = old_sel == new_sel;
+        points.push(SortitionPoint {
+            n,
+            op: "select",
+            reps,
+            old_ns_per_device: old_ns / n as f64,
+            new_ns_per_device: new_ns / n as f64,
+            speedup: old_ns / new_ns,
+            identical,
+        });
+
+        // -- verify: the aggregator checking all n tickets of a round.
+        let msg = sortition_message(&block, 0);
+        let tickets: Vec<Ticket> = registry
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| arboretum_sortition::make_ticket_with_msg(d, i, &msg))
+            .collect();
+        let (old_vns, old_ver) = time_rounds(reps, || {
+            reference::verify_round(&registry, &block, 0, &tickets)
+        });
+        let (new_vns, new_ver) = time_rounds(reps, || {
+            verify_tickets_batch(&registry, &block, 0, &tickets)
+        });
+        let identical = old_ver == new_ver && new_ver.is_ok();
+        points.push(SortitionPoint {
+            n,
+            op: "verify",
+            reps,
+            old_ns_per_device: old_vns / n as f64,
+            new_ns_per_device: new_vns / n as f64,
+            speedup: old_vns / new_vns,
+            identical,
+        });
+    }
+    SortitionBench {
+        committees: c,
+        committee_size: m,
+        host_cpus: host_cpus(),
+        points,
+    }
+}
+
+impl SortitionBench {
+    /// Serializes to the committed `BENCH_sortition.json` shape.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"n\": {}, \"op\": \"{}\", \"reps\": {}, \
+                     \"old_ns_per_device\": {:.1}, \"new_ns_per_device\": {:.1}, \
+                     \"speedup\": {:.3}, \"identical\": {}}}",
+                    p.n,
+                    p.op,
+                    p.reps,
+                    p.old_ns_per_device,
+                    p.new_ns_per_device,
+                    p.speedup,
+                    p.identical
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"sortition\",\n  \"committees\": {},\n  \
+             \"committee_size\": {},\n  \"host_cpus\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+            self.committees,
+            self.committee_size,
+            self.host_cpus,
+            rows.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn old_and_new_paths_agree_on_bench_workloads() {
+        let b = bench_sortition(&[64, 200], |_| 1);
+        assert_eq!(b.points.len(), 4);
+        for p in &b.points {
+            assert!(p.identical, "{} diverged at n = {}", p.op, p.n);
+            assert!(p.old_ns_per_device > 0.0 && p.new_ns_per_device > 0.0);
+        }
+    }
+
+    #[test]
+    fn vendored_scalar_sha_matches_live_dispatch() {
+        // The vendored pre-rewrite hash must agree with the live
+        // (hardware-dispatched) one — this is also an end-to-end check
+        // of the SHA-NI path against the old scalar code.
+        for len in [0usize, 1, 52, 55, 56, 63, 64, 65, 127, 128, 300] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+            assert_eq!(reference::scalar_sha256(&data), sha256(&data), "len={len}");
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let b = bench_sortition(&[64], |_| 1);
+        let j = b.to_json();
+        assert!(j.contains("\"bench\": \"sortition\""));
+        assert!(j.contains("\"op\": \"select\""));
+        assert!(j.contains("\"op\": \"verify\""));
+        assert!(j.contains("\"identical\": true"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

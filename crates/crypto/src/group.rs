@@ -40,18 +40,31 @@ impl GroupElem {
         Self(Base::new(4))
     }
 
-    /// Exponentiation `self^e` for a scalar exponent.
+    /// Exponentiation `self^e` for a scalar exponent (generic
+    /// square-and-multiply; the fixed-base and multi-base fast paths in
+    /// [`crate::fastexp`] are bitwise equal to this by construction).
     pub fn pow(self, e: Scalar) -> Self {
         Self(self.0.pow(e.value()))
     }
 
-    /// Returns `generator^e`.
+    /// Returns `generator^e`, through the lazily-built process-wide
+    /// fixed-base window table ([`crate::fastexp::base_table`]) — at
+    /// most 8 group multiplications instead of a ~90-operation ladder,
+    /// with an identical result.
     pub fn mul_base(e: Scalar) -> Self {
-        Self::generator().pow(e)
+        crate::fastexp::base_table().pow(e)
     }
 
     /// Hashes a domain-separation label to a group element of unknown
     /// discrete log (squares the hash to land in the QR subgroup).
+    ///
+    /// The 64-bit hash draw is accepted only when it already lies in
+    /// `(1, p)` — rejection sampling, so accepted values are uniform
+    /// over the valid range. (The previous `u64 % p` reduction favored
+    /// residues below `2^64 mod p`; `p ≈ 2^62`, so low residues were
+    /// up to 4× likelier.) Labels whose first draw lands in range —
+    /// including every generator the workspace derives today, e.g.
+    /// Pedersen's `h` — hash to the same element as before.
     pub fn hash_to_group(label: &[u8]) -> Self {
         let mut ctr = 0u32;
         loop {
@@ -60,8 +73,8 @@ impl GroupElem {
             h.update(label);
             h.update(&ctr.to_be_bytes());
             let d = h.finalize();
-            let v = u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]]) % GROUP_P;
-            if v > 1 {
+            let v = u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]]);
+            if v > 1 && v < GROUP_P {
                 // Squaring maps into the QR subgroup of order q.
                 return Self(Base::new(v).square());
             }
@@ -191,6 +204,43 @@ mod tests {
             GroupElem::hash_to_group(b"a"),
             GroupElem::hash_to_group(b"b")
         );
+    }
+
+    #[test]
+    fn hash_to_group_keeps_existing_generators_stable() {
+        // Rejection sampling replaced `u64 % p`; labels whose first draw
+        // already lay in range are unchanged. Pedersen's blinding
+        // generator is the one the rest of the workspace depends on —
+        // pin its exact value so a sampling change can never silently
+        // re-derive it.
+        assert_eq!(
+            GroupElem::hash_to_group(b"pedersen-h").value(),
+            142_484_066_720_369_681
+        );
+    }
+
+    #[test]
+    fn hash_to_group_is_roughly_uniform() {
+        // Accepted draws are uniform over (1, p) by rejection; squares of
+        // uniform values equidistribute over the QR subgroup, which is
+        // itself equidistributed in [1, p). Bucket element values into
+        // octants of [0, p) and require every octant populated within
+        // generous bounds. (The old modulo-biased draw favored values
+        // below 2^64 mod p ≈ 0.25·p by a factor of up to 4.)
+        const LABELS: usize = 2000;
+        let mut buckets = [0usize; 8];
+        for i in 0..LABELS {
+            let e = GroupElem::hash_to_group(format!("dist-{i}").as_bytes());
+            let octant = (e.value() as u128 * 8 / GROUP_P as u128) as usize;
+            buckets[octant] += 1;
+        }
+        let expected = LABELS / 8;
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(
+                b > expected / 2 && b < expected * 2,
+                "octant {i} holds {b} of {LABELS} elements (expected ~{expected})"
+            );
+        }
     }
 
     #[test]

@@ -7,14 +7,23 @@
 //!   registry, aggregator step audits).
 //! * [`group`] — a prime-order Schnorr group over a 62-bit safe prime
 //!   (research-scale parameters; see DESIGN.md "Substitutions").
+//! * [`fastexp`] — fixed-base window tables, Straus double
+//!   exponentiation, and blocked multi-exponentiation: the group's
+//!   algorithmic fast path, bitwise equal to naive `pow`.
 //! * [`schnorr`] — deterministic Schnorr signatures (the paper's
-//!   deterministic-signature requirement for sortition).
+//!   deterministic-signature requirement for sortition), with
+//!   deterministic-combiner batch verification.
 //! * [`pedersen`] — Pedersen commitments (ZKPs, Feldman/VSR commitments).
 //! * [`transcript`] — Fiat–Shamir transcripts for non-interactive proofs.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SHA-256 compression dispatch carries
+// the crate's single `unsafe` block — the runtime-feature-checked call
+// into the x86 SHA new-instructions path (`sha256::ni`). Everything else
+// stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fastexp;
 pub mod group;
 pub mod hmac;
 pub mod merkle;
@@ -26,6 +35,8 @@ pub mod transcript;
 pub use group::{GroupElem, Scalar};
 pub use merkle::{MerkleProof, MerkleTree};
 pub use pedersen::{Commitment, Opening, PedersenParams};
-pub use schnorr::{Keypair, PublicKey, SecretKey, Signature};
+pub use schnorr::{
+    verify_batch, BatchEntry, Keypair, PreparedPublicKey, PublicKey, SecretKey, Signature,
+};
 pub use sha256::{sha256, Digest, Sha256};
 pub use transcript::Transcript;

@@ -7,9 +7,10 @@
 //! derived by HMAC from the secret key and message, which has the same
 //! one-ticket property.
 
+use crate::fastexp::{self, FixedBaseTable};
 use crate::group::{scalar_from_hash, GroupElem, Scalar};
-use crate::hmac::hmac_sha256;
-use crate::sha256::Sha256;
+use crate::hmac::{hmac_sha256, HmacKey};
+use crate::sha256::{sha256, Digest, Sha256};
 use rand::Rng;
 
 /// A Schnorr secret key (a scalar).
@@ -49,6 +50,10 @@ pub struct Keypair {
     pub sk: SecretKey,
     /// The public point `g^sk`.
     pub pk: PublicKey,
+    /// Precomputed HMAC midstates for the deterministic nonce — the
+    /// key-dependent compressions of RFC 6979-style `HMAC(sk, msg)` paid
+    /// once at key construction instead of on every signature.
+    nonce_key: HmacKey,
 }
 
 impl Keypair {
@@ -68,15 +73,15 @@ impl Keypair {
     /// Builds the keypair for an existing secret.
     pub fn from_secret(sk: SecretKey) -> Self {
         let pk = PublicKey(GroupElem::mul_base(sk.0));
-        Self { sk, pk }
+        let nonce_key = HmacKey::new(&sk.0.value().to_be_bytes());
+        Self { sk, pk, nonce_key }
     }
 
     /// Signs `msg` deterministically.
     pub fn sign(&self, msg: &[u8]) -> Signature {
         // Deterministic nonce: k = H2S(HMAC(sk, msg)). Never reuse a nonce
         // across distinct messages; HMAC keyed by the secret guarantees it.
-        let sk_bytes = self.sk.0.value().to_be_bytes();
-        let k = scalar_from_hash(&hmac_sha256(&sk_bytes, msg));
+        let k = scalar_from_hash(&self.nonce_key.mac(msg));
         let r = GroupElem::mul_base(k);
         let e = challenge(&r, &self.pk, msg);
         let s = k + e * self.sk.0;
@@ -93,10 +98,210 @@ fn challenge(r: &GroupElem, pk: &PublicKey, msg: &[u8]) -> Scalar {
     scalar_from_hash(&h.finalize())
 }
 
-/// Verifies a signature: `g^s == R · pk^e`.
+/// Verifies a signature: `g^s == R · pk^e`, computed as the Straus
+/// interleaved double exponentiation `g^s · pk^{-e} == R` (one shared
+/// squaring chain; same accept/reject decision — the two forms differ
+/// by an exact multiplication with `pk^{-e}` on both sides).
 pub fn verify(pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
     let e = challenge(&sig.r, pk, msg);
-    GroupElem::mul_base(sig.s) == sig.r + pk.0.pow(e)
+    fastexp::straus_base_mul(sig.s, pk.0, -e) == sig.r
+}
+
+/// A public key with a precomputed fixed-base window table.
+///
+/// Worth building whenever one key verifies more than a handful of
+/// signatures: each verify then costs two table exponentiations
+/// (~16 multiplications total) instead of a squaring ladder.
+#[derive(Clone, Debug)]
+pub struct PreparedPublicKey {
+    /// The underlying public key.
+    pub pk: PublicKey,
+    table: FixedBaseTable,
+}
+
+impl PreparedPublicKey {
+    /// Precomputes the window table for `pk`.
+    pub fn new(pk: PublicKey) -> Self {
+        Self {
+            pk,
+            table: FixedBaseTable::new(pk.0),
+        }
+    }
+
+    /// Verifies a signature against the prepared key — same decision as
+    /// [`verify`].
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        let e = challenge(&sig.r, &self.pk, msg);
+        GroupElem::mul_base(sig.s) + self.table.pow(-e) == sig.r
+    }
+}
+
+/// One signature in a batch-verification call.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchEntry<'a> {
+    /// The claimed signer.
+    pub pk: PublicKey,
+    /// The signed message.
+    pub msg: &'a [u8],
+    /// The signature to check.
+    pub sig: Signature,
+}
+
+/// Batch-verifies Schnorr signatures with a deterministic
+/// random-linear-combination combiner.
+///
+/// Each per-signature equation `g^{s_i} == R_i · pk_i^{e_i}` is scaled
+/// by a coefficient `c_i` and the products combined into one check:
+///
+/// ```text
+/// g^{Σ c_i s_i} == Π R_i^{c_i} · Π pk_i^{c_i e_i}
+/// ```
+///
+/// evaluated with the fixed-base generator table on the left and one
+/// blocked multi-exponentiation on the right. A batch that would fool
+/// the combined check despite containing an invalid signature must hit
+/// a `c_i` relation of probability `2^-61` over the coefficient space.
+///
+/// **Deterministic combiner contract:** the coefficients are a pure
+/// function of the verified transcript — `c_i` is derived by hashing
+/// `(digest, i)` where `digest` commits to every `(pk_i, R_i, s_i,
+/// H(msg_i))` in order — so a batch verification is replayable bit for
+/// bit by any party holding the same inputs, and an adversary choosing
+/// signatures cannot steer coefficients it has not already committed
+/// to. Coefficients are forced nonzero (a zero would drop a signature
+/// from the check).
+///
+/// Returns `Ok(())` when every signature verifies. On failure the batch
+/// is bisected — each half re-checked with the *same* coefficients,
+/// invalid halves split recursively, and at single-entry leaves the
+/// plain per-signature [`verify`] runs — so the returned indices are
+/// exactly the invalid signatures (ascending), never a whole poisoned
+/// batch.
+pub fn verify_batch(entries: &[BatchEntry]) -> Result<(), Vec<usize>> {
+    if entries.is_empty() {
+        return Ok(());
+    }
+    let challenges: Vec<Scalar> = entries
+        .iter()
+        .map(|en| challenge(&en.sig.r, &en.pk, en.msg))
+        .collect();
+    let coeffs = batch_coefficients(entries);
+    if batch_check(
+        entries,
+        &challenges,
+        &coeffs,
+        &(0..entries.len()).collect::<Vec<_>>(),
+    ) {
+        return Ok(());
+    }
+    let mut bad = Vec::new();
+    bisect(
+        entries,
+        &challenges,
+        &coeffs,
+        &(0..entries.len()).collect::<Vec<_>>(),
+        &mut bad,
+    );
+    debug_assert!(
+        !bad.is_empty(),
+        "combined check failed but no culprit found"
+    );
+    Err(bad)
+}
+
+/// Derives the deterministic per-entry combiner coefficients.
+fn batch_coefficients(entries: &[BatchEntry]) -> Vec<Scalar> {
+    // The transcript digest commits to every signature being verified.
+    // Message hashes are memoized across runs of equal messages — the
+    // common case is a whole batch over one round message (sortition).
+    let mut h = Sha256::new();
+    h.update(b"arboretum/schnorr/batch-v1");
+    h.update(&(entries.len() as u64).to_be_bytes());
+    let mut last_msg: Option<(&[u8], Digest)> = None;
+    for en in entries {
+        h.update(&en.pk.0.to_bytes());
+        h.update(&en.sig.r.to_bytes());
+        h.update(&en.sig.s.value().to_be_bytes());
+        let mh = match last_msg {
+            Some((m, d)) if m == en.msg => d,
+            _ => {
+                let d = sha256(en.msg);
+                last_msg = Some((en.msg, d));
+                d
+            }
+        };
+        h.update(&mh);
+    }
+    let digest = h.finalize();
+    // The 32-byte domain plus the 32-byte digest fill exactly one hash
+    // block, so the per-entry coefficient hash resumes from this shared
+    // midstate and costs a single compression.
+    let mut base = Sha256::new();
+    base.update(b"arboretum/schnorr/batch-coeff/v1");
+    base.update(&digest);
+    (0..entries.len() as u64)
+        .map(|i| {
+            // Nonzero coefficient for entry i: bump a counter on the
+            // (negligible, but handled) zero draw.
+            let mut ctr = 0u64;
+            loop {
+                let mut h = base.clone();
+                h.update(&i.to_be_bytes());
+                h.update(&ctr.to_be_bytes());
+                let c = scalar_from_hash(&h.finalize());
+                if c != Scalar::ZERO {
+                    return c;
+                }
+                ctr += 1;
+            }
+        })
+        .collect()
+}
+
+/// The combined RLC check over the entries at `idxs`, with the full
+/// batch's coefficients.
+fn batch_check(
+    entries: &[BatchEntry],
+    challenges: &[Scalar],
+    coeffs: &[Scalar],
+    idxs: &[usize],
+) -> bool {
+    let mut s_combined = Scalar::ZERO;
+    let mut pairs = Vec::with_capacity(2 * idxs.len());
+    for &i in idxs {
+        s_combined += coeffs[i] * entries[i].sig.s;
+        pairs.push((entries[i].sig.r, coeffs[i]));
+        pairs.push((entries[i].pk.0, coeffs[i] * challenges[i]));
+    }
+    fastexp::base_table().pow(s_combined) == fastexp::multi_exp(&pairs)
+}
+
+/// Recursive bisection of a failing batch: exact culprit attribution
+/// with per-signature verification at the leaves.
+fn bisect(
+    entries: &[BatchEntry],
+    challenges: &[Scalar],
+    coeffs: &[Scalar],
+    idxs: &[usize],
+    bad: &mut Vec<usize>,
+) {
+    match idxs {
+        [] => {}
+        &[i] => {
+            let en = &entries[i];
+            if fastexp::straus_base_mul(en.sig.s, en.pk.0, -challenges[i]) != en.sig.r {
+                bad.push(i);
+            }
+        }
+        _ => {
+            let (lo, hi) = idxs.split_at(idxs.len() / 2);
+            for half in [lo, hi] {
+                if !batch_check(entries, challenges, coeffs, half) {
+                    bisect(entries, challenges, coeffs, half, bad);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +346,84 @@ mod tests {
         let mut sig = kp.sign(b"msg");
         sig.s += Scalar::ONE;
         assert!(!verify(&kp.pk, b"msg", &sig));
+    }
+
+    fn batch(n: usize) -> (Vec<Keypair>, Vec<Vec<u8>>, Vec<Signature>) {
+        let kps: Vec<Keypair> = (0..n)
+            .map(|i| Keypair::from_seed(format!("batch-{i}").as_bytes()))
+            .collect();
+        let msgs: Vec<Vec<u8>> = (0..n)
+            .map(|i| format!("msg-{}", i % 7).into_bytes())
+            .collect();
+        let sigs: Vec<Signature> = kps.iter().zip(&msgs).map(|(kp, m)| kp.sign(m)).collect();
+        (kps, msgs, sigs)
+    }
+
+    fn entries<'a>(
+        kps: &[Keypair],
+        msgs: &'a [Vec<u8>],
+        sigs: &[Signature],
+    ) -> Vec<BatchEntry<'a>> {
+        kps.iter()
+            .zip(msgs)
+            .zip(sigs)
+            .map(|((kp, m), &sig)| BatchEntry {
+                pk: kp.pk,
+                msg: m,
+                sig,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_accepts_all_valid() {
+        let (kps, msgs, sigs) = batch(33);
+        assert_eq!(verify_batch(&entries(&kps, &msgs, &sigs)), Ok(()));
+        assert_eq!(verify_batch(&[]), Ok(()));
+    }
+
+    #[test]
+    fn batch_bisection_attributes_exact_culprits() {
+        let (kps, msgs, mut sigs) = batch(40);
+        for &i in &[0usize, 17, 18, 39] {
+            sigs[i].s += Scalar::ONE;
+        }
+        assert_eq!(
+            verify_batch(&entries(&kps, &msgs, &sigs)),
+            Err(vec![0, 17, 18, 39])
+        );
+    }
+
+    #[test]
+    fn batch_detects_wrong_key_and_tampered_commitment() {
+        let (kps, msgs, mut sigs) = batch(9);
+        sigs[3].r = GroupElem::mul_base(Scalar::new(777));
+        let mut ens = entries(&kps, &msgs, &sigs);
+        ens[6].pk = Keypair::from_seed(b"intruder").pk;
+        assert_eq!(verify_batch(&ens), Err(vec![3, 6]));
+    }
+
+    #[test]
+    fn batch_single_entry_matches_plain_verify() {
+        let (kps, msgs, mut sigs) = batch(1);
+        assert_eq!(verify_batch(&entries(&kps, &msgs, &sigs)), Ok(()));
+        sigs[0].s += Scalar::ONE;
+        assert_eq!(verify_batch(&entries(&kps, &msgs, &sigs)), Err(vec![0]));
+    }
+
+    #[test]
+    fn prepared_key_matches_plain_verify() {
+        let kp = Keypair::from_seed(b"prepared");
+        let prepared = PreparedPublicKey::new(kp.pk);
+        for round in 0..8u64 {
+            let msg = round.to_be_bytes();
+            let sig = kp.sign(&msg);
+            assert!(prepared.verify(&msg, &sig));
+            assert_eq!(prepared.verify(&msg, &sig), verify(&kp.pk, &msg, &sig));
+            let mut bad = sig;
+            bad.s += Scalar::ONE;
+            assert!(!prepared.verify(&msg, &bad));
+        }
     }
 
     #[test]

@@ -143,7 +143,15 @@ pub(super) struct EventedCore {
     /// Endpoint frontend only: parties whose endpoint has been dropped.
     exited: Vec<bool>,
     /// Endpoint frontend only: parties blocked in a receive.
-    pub(super) waiters: Vec<Option<Waiter>>,
+    waiters: Vec<Option<Waiter>>,
+    /// Count of non-exited parties (endpoint frontend; 0 otherwise).
+    /// Kept incrementally so the quiescence gate — consulted on every
+    /// blocked receive *and every endpoint drop* — is O(1); recounting
+    /// the vectors would make tearing down an n-endpoint fabric O(n²).
+    live: usize,
+    /// Count of registered waiters, maintained by
+    /// [`set_waiter`](Self::set_waiter)/[`take_waiter`](Self::take_waiter).
+    waiting: usize,
     per_party_payload: Vec<u64>,
     per_party_rounds: Vec<u64>,
     metrics: TransportMetrics,
@@ -194,6 +202,8 @@ impl EventedCore {
             } else {
                 Vec::new()
             },
+            live: if endpoint_mode { m } else { 0 },
+            waiting: 0,
             per_party_payload: vec![0; m],
             per_party_rounds: vec![0; m],
             metrics: TransportMetrics::default(),
@@ -283,8 +293,34 @@ impl EventedCore {
 
     pub(super) fn mark_exited(&mut self, party: usize) {
         if let Some(e) = self.exited.get_mut(party) {
-            *e = true;
+            if !*e {
+                *e = true;
+                self.live -= 1;
+            }
         }
+    }
+
+    /// Registers `at` as blocked in a receive (replacing any stale
+    /// registration), keeping the waiter count incremental.
+    pub(super) fn set_waiter(&mut self, at: usize, w: Waiter) {
+        if self.waiters[at].is_none() {
+            self.waiting += 1;
+        }
+        self.waiters[at] = Some(w);
+    }
+
+    /// Clears `at`'s waiter registration, if any.
+    pub(super) fn take_waiter(&mut self, at: usize) -> Option<Waiter> {
+        let w = self.waiters[at].take();
+        if w.is_some() {
+            self.waiting -= 1;
+        }
+        w
+    }
+
+    /// Whether quiescence chose `at`'s receive to time out.
+    pub(super) fn waiter_fired(&self, at: usize) -> bool {
+        self.waiters[at].as_ref().is_some_and(|w| w.fired)
     }
 
     /// Sends one frame, applying faults, modeled delay, metering, and
@@ -386,9 +422,9 @@ impl EventedCore {
     /// receive deadline and that waiter's receive times out. Ties break
     /// toward the smallest party id. Returns whether a waiter fired.
     pub(super) fn fire_if_quiescent(&mut self) -> bool {
-        let live = self.exited.iter().filter(|&&e| !e).count();
-        let waiting = self.waiters.iter().flatten().count();
-        if live == 0 || waiting != live {
+        debug_assert_eq!(self.live, self.exited.iter().filter(|&&e| !e).count());
+        debug_assert_eq!(self.waiting, self.waiters.iter().flatten().count());
+        if self.live == 0 || self.waiting != self.live {
             return false;
         }
         // A registration only means the party was blocked when it last

@@ -147,18 +147,21 @@ impl Transport for EventedEndpoint {
                         return Err(NetError::Closed { peer: from });
                     }
                     let deadline = core.clock(at) + core.timeout_nanos();
-                    core.waiters[at] = Some(Waiter {
-                        from,
-                        deadline,
-                        fired: false,
-                    });
+                    core.set_waiter(
+                        at,
+                        Waiter {
+                            from,
+                            deadline,
+                            fired: false,
+                        },
+                    );
                     if core.fire_if_quiescent() {
                         self.shared.cv.notify_all();
                     }
-                    if core.waiters[at].as_ref().is_some_and(|w| w.fired) {
+                    if core.waiter_fired(at) {
                         // Quiescence chose this receive: virtual time
                         // advanced to its deadline and it times out.
-                        core.waiters[at] = None;
+                        core.take_waiter(at);
                         return Err(NetError::Timeout { at, from });
                     }
                     // The wait duration is only a liveness backstop: a
@@ -170,8 +173,8 @@ impl Transport for EventedEndpoint {
                         .wait_timeout(core, Duration::from_millis(50))
                         .expect("evented core poisoned");
                     core = c;
-                    let fired = core.waiters[at].as_ref().is_some_and(|w| w.fired);
-                    core.waiters[at] = None;
+                    let fired = core.waiter_fired(at);
+                    core.take_waiter(at);
                     if fired {
                         return Err(NetError::Timeout { at, from });
                     }

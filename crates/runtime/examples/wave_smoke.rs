@@ -2,13 +2,20 @@
 //! workload: one process runs hash sortition over the full device
 //! registry and then an upload wave for `--devices N` (default 10^5)
 //! simulated devices, all on the virtual-time evented fabric.
+//! `--profile million` switches to [`WaveConfig::million`] — the
+//! 10^6-device release preset the optimized sortition path is sized
+//! for (the CI `sortition-smoke` job runs it).
 //!
 //! Checks, in order:
 //!
 //! 1. Small-population cross-fabric parity: the same wave on the sim,
 //!    threaded, and evented fabrics produces bitwise-identical
 //!    transport metrics, committee seatings, and aggregates.
-//! 2. The full-population evented wave matches the closed-form traffic
+//! 2. Sortition parity: the optimized selection pipeline (fixed-base
+//!    exponentiation, parallel ticket kernels, O(n) partial selection)
+//!    seats committees bitwise identical to the serial full-sort
+//!    reference under the wave beacon.
+//! 3. The full-population evented wave matches the closed-form traffic
 //!    model bitwise, delivers every frame (the aggregate equals the
 //!    device count), and keeps the buffer arena's peak live-buffer
 //!    count at the batch bound.
@@ -22,7 +29,7 @@ use std::time::Instant;
 
 use arboretum_field::FGold;
 use arboretum_net::FabricKind;
-use arboretum_runtime::{run_wave, WaveConfig, WaveReport};
+use arboretum_runtime::{run_wave, sortition_parity, WaveConfig, WaveReport};
 
 fn artifact_dir() -> std::path::PathBuf {
     std::env::var("WAVE_ARTIFACT_DIR")
@@ -71,24 +78,42 @@ fn fail(tag: &str, report: &WaveReport, why: &str) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let mut devices = 100_000usize;
+    let mut cfg = WaveConfig {
+        devices: 100_000,
+        fabric: Some(FabricKind::Evented),
+        ..WaveConfig::default()
+    };
+    let mut devices_override: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--devices" => {
-                devices = args
-                    .next()
-                    .expect("--devices needs a value")
-                    .trim()
-                    .parse()
-                    .expect("--devices takes a number");
+                devices_override = Some(
+                    args.next()
+                        .expect("--devices needs a value")
+                        .trim()
+                        .parse()
+                        .expect("--devices takes a number"),
+                );
             }
+            "--profile" => match args.next().expect("--profile needs a value").trim() {
+                "million" => cfg = WaveConfig::million(),
+                "default" => {}
+                other => {
+                    eprintln!("unknown profile {other}; use default|million");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
-                eprintln!("unknown flag {other}; use --devices N");
+                eprintln!("unknown flag {other}; use --devices N | --profile default|million");
                 return ExitCode::from(2);
             }
         }
     }
+    if let Some(n) = devices_override {
+        cfg.devices = n;
+    }
+    let devices = cfg.devices;
 
     // ---- 1. Cross-fabric parity at a dense-fabric-sized population.
     let small = 256usize;
@@ -123,13 +148,41 @@ fn main() -> ExitCode {
         parity[0].metrics.frames, parity[0].metrics.payload_bytes_total
     );
 
-    // ---- 2. The full-population evented wave.
+    // ---- 2. Fast-vs-reference sortition parity: the optimized
+    // pipeline (fixed-base exponentiation, parallel ticket kernels,
+    // O(n) partial selection) must seat bitwise-identical committees
+    // to the serial full-sort reference, under the exact wave beacon
+    // and committee shape, at a population where the reference path
+    // is affordable.
+    let parity_devices = 20_000usize.min(devices);
+    if !sortition_parity(&cfg, parity_devices) {
+        eprintln!(
+            "FAIL [sortition-parity]: optimized sortition diverged from the \
+             full-sort reference at {parity_devices} devices"
+        );
+        let dir = artifact_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("sortition-parity-{parity_devices}.json"));
+            let body = format!(
+                "{{\n  \"tag\": \"sortition-parity\",\n  \"devices\": {parity_devices},\n  \
+                 \"committees\": {},\n  \"committee_size\": {},\n  \"identical\": false\n}}\n",
+                cfg.committees, cfg.committee_size
+            );
+            if std::fs::write(&path, body).is_ok() {
+                eprintln!("  artifact: {}", path.display());
+            }
+        }
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "sortition parity: fast == reference at {parity_devices} devices \
+         ({} committees of {})",
+        cfg.committees, cfg.committee_size
+    );
+
+    // ---- 3. The full-population evented wave.
     let start = Instant::now();
-    let report = run_wave(&WaveConfig {
-        devices,
-        fabric: Some(FabricKind::Evented),
-        ..WaveConfig::default()
-    });
+    let report = run_wave(&cfg);
     let elapsed = start.elapsed();
     if !report.identical() {
         return fail(

@@ -43,4 +43,4 @@ pub use setup::{
     build_session_setup, build_session_setup_observed, build_session_setup_on, SessionSetup,
     SetupCounters, SETUP_ROLES,
 };
-pub use wave::{run_wave, WaveConfig, WaveReport};
+pub use wave::{run_wave, sortition_parity, WaveConfig, WaveReport};

@@ -22,12 +22,16 @@ use arboretum_net::{
     evented_fabric, ArenaCounters, EventedConfig, FabricKind, Message, SimTransport,
     ThreadedConfig, Transport, TransportMetrics, HEADER_BYTES,
 };
-use arboretum_sortition::{select_committees, Device, Registry};
+use arboretum_sortition::{select_committees, select_committees_reference, Device, Registry};
 
 /// Devices per send/drain batch: bounds the number of simultaneously
 /// queued frames (and therefore the arena's peak live-buffer count)
 /// regardless of population size.
 const WAVE_BATCH: usize = 4096;
+
+/// Beacon preimage shared by [`run_wave`] and [`sortition_parity`], so
+/// the parity check exercises the exact digest the wave seats under.
+const WAVE_BEACON: &[u8] = b"arboretum wave beacon v1";
 
 /// Configuration for [`run_wave`].
 #[derive(Clone, Debug)]
@@ -63,6 +67,51 @@ impl Default for WaveConfig {
             timeout: Duration::from_secs(5),
         }
     }
+}
+
+impl WaveConfig {
+    /// The million-device release profile: 10^6 devices on the evented
+    /// fabric, five committees of seven. This is the population the
+    /// fixed-base/batch-verify sortition path is sized for; only run it
+    /// in release builds (the CI `sortition-smoke` job does).
+    pub fn million() -> Self {
+        Self {
+            devices: 1_000_000,
+            committees: 5,
+            committee_size: 7,
+            fabric: Some(FabricKind::Evented),
+            ..Self::default()
+        }
+    }
+}
+
+/// Checks that the optimized sortition pipeline (fixed-base
+/// exponentiation, parallel ticket kernels, O(n) partial selection)
+/// seats committees bitwise identical to the serial full-sort
+/// reference under the wave beacon, at a population where running the
+/// reference path is affordable.
+///
+/// `devices` is the parity population; committee shape and query index
+/// come from `cfg` so the check covers the same selection parameters
+/// the full wave runs with.
+pub fn sortition_parity(cfg: &WaveConfig, devices: usize) -> bool {
+    let registry = Registry::new((0..devices as u64).map(Device::from_id).collect());
+    let block = sha256(WAVE_BEACON);
+    let fast = select_committees(
+        &registry,
+        &block,
+        cfg.query_idx,
+        cfg.committees,
+        cfg.committee_size,
+    );
+    let reference = select_committees_reference(
+        &registry,
+        &block,
+        cfg.query_idx,
+        cfg.committees,
+        cfg.committee_size,
+    );
+    fast == reference
 }
 
 /// What one sortition + upload wave produced.
@@ -130,7 +179,7 @@ pub fn run_wave(cfg: &WaveConfig) -> WaveReport {
     // Sortition over the full registry: beacon is a deterministic
     // digest so reports are reproducible across runs and fabrics.
     let registry = Registry::new((0..n as u64).map(Device::from_id).collect());
-    let block = sha256(b"arboretum wave beacon v1");
+    let block = sha256(WAVE_BEACON);
     let seats = select_committees(
         &registry,
         &block,
@@ -266,6 +315,24 @@ mod tests {
         assert_eq!(sim.seats, th.seats);
         assert_eq!(sim.aggregate, ev.aggregate);
         assert_eq!(sim.aggregate, th.aggregate);
+    }
+
+    #[test]
+    fn fast_sortition_matches_reference_under_the_wave_beacon() {
+        // Default and million committee shapes, small parity population.
+        assert!(sortition_parity(&WaveConfig::default(), 512));
+        assert!(sortition_parity(&WaveConfig::million(), 512));
+    }
+
+    #[test]
+    fn million_profile_is_the_evented_release_preset() {
+        let cfg = WaveConfig::million();
+        assert_eq!(cfg.devices, 1_000_000);
+        assert!(matches!(cfg.fabric, Some(FabricKind::Evented)));
+        assert!(
+            cfg.committees * cfg.committee_size <= 512,
+            "parity population must seat it"
+        );
     }
 
     #[test]

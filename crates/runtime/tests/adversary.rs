@@ -78,6 +78,19 @@ fn one_hot_seed_sweep_detects_every_injected_behavior_on_every_fabric() {
 }
 
 #[test]
+fn forged_ticket_seed_sweep_attributes_exact_culprits() {
+    // Satellite of the batch-verification work: every seed derives a
+    // forgery plan (which tickets, which corruption from the catalog),
+    // and the deterministic-combiner batch verifier must return exactly
+    // that index set — hash-binding prefilter and bisection fallback
+    // both exercised — with the per-ticket oracle agreeing everywhere.
+    for seed in 0..sweep_width() {
+        arboretum_testkit::run_forgery_sweep(seed, 320)
+            .unwrap_or_else(|e| panic!("forgery sweep failed: {e}"));
+    }
+}
+
+#[test]
 fn numeric_seed_sweep_detects_every_injected_behavior() {
     // The numeric pipeline exercises the range-proof detection family;
     // the net phase is identical to the one-hot sweep's, so skip it.

@@ -8,10 +8,27 @@
 //! means a device gets exactly one ticket — it cannot grind, and neither
 //! can the aggregator (the Merkle tree pins the device set before `B` is
 //! revealed).
+//!
+//! Two performance-critical properties at 10^5–10^6 devices:
+//!
+//! * Ticket `i` is a pure function of `(registry, block, query_idx, i)`,
+//!   so [`select_committees`] generates tickets on the deterministic
+//!   `par` kernels (bitwise-identical at any thread count) with the
+//!   fixed-base exponentiation fast path under the signature.
+//! * Seating only needs the `c·m` *lowest* tickets, so selection uses
+//!   `select_nth_unstable`-style partial selection (O(n)) and sorts only
+//!   that prefix. [`select_committees_reference`] keeps the serial
+//!   full-sort path; both seat **identical** committees because both
+//!   order by the total key `(hash, device_idx)` — the explicit
+//!   `device_idx` tie-break also removes the latent order dependence the
+//!   plain `hash` key had on duplicate hashes.
+
+use std::sync::Arc;
 
 use arboretum_crypto::merkle::MerkleTree;
-use arboretum_crypto::schnorr::{verify, Keypair, PublicKey, Signature};
+use arboretum_crypto::schnorr::{verify, verify_batch, BatchEntry, Keypair, PublicKey, Signature};
 use arboretum_crypto::sha256::{sha256, Digest};
+use arboretum_par::{par_map_arc, ThreadPool};
 
 /// A registered device: identity plus signing keys.
 #[derive(Clone, Debug)]
@@ -43,7 +60,9 @@ impl Device {
 /// The device registry: a Merkle tree over `(id, pk)` leaves.
 #[derive(Clone, Debug)]
 pub struct Registry {
-    devices: Vec<Device>,
+    /// Shared so the parallel ticket kernels can borrow the device set
+    /// without copying it per task.
+    devices: Arc<Vec<Device>>,
     tree: MerkleTree,
 }
 
@@ -56,7 +75,10 @@ impl Registry {
     pub fn new(devices: Vec<Device>) -> Self {
         let leaves: Vec<Vec<u8>> = devices.iter().map(Device::leaf_bytes).collect();
         let tree = MerkleTree::new(&leaves);
-        Self { devices, tree }
+        Self {
+            devices: Arc::new(devices),
+            tree,
+        }
     }
 
     /// The Merkle root pinning the device set.
@@ -108,8 +130,13 @@ pub fn sortition_message(block: &Digest, query_idx: u64) -> Vec<u8> {
 
 /// Computes a device's ticket for a query round.
 pub fn make_ticket(device: &Device, device_idx: usize, block: &Digest, query_idx: u64) -> Ticket {
-    let msg = sortition_message(block, query_idx);
-    let signature = device.keypair.sign(&msg);
+    make_ticket_with_msg(device, device_idx, &sortition_message(block, query_idx))
+}
+
+/// [`make_ticket`] with the (round-constant) sortition message already
+/// built — the bulk paths construct it once per round, not per device.
+pub fn make_ticket_with_msg(device: &Device, device_idx: usize, msg: &[u8]) -> Ticket {
+    let signature = device.keypair.sign(msg);
     Ticket {
         device_idx,
         signature,
@@ -123,6 +150,50 @@ pub fn verify_ticket(pk: &PublicKey, block: &Digest, query_idx: u64, ticket: &Ti
     verify(pk, &msg, &ticket.signature) && sha256(&ticket.signature.to_bytes()) == ticket.hash
 }
 
+/// Batch-verifies a round's tickets against the registry.
+///
+/// The ticket-hash binding (`hash == SHA-256(signature)`) is checked
+/// per ticket; the signatures go through the deterministic-combiner
+/// batch Schnorr verification (`crypto::schnorr::verify_batch`), whose
+/// bisection fallback attributes failures per signature. Returns
+/// `Ok(())` or the exact indices (into `tickets`, ascending) of every
+/// invalid ticket — a forged ticket never poisons the whole batch.
+pub fn verify_tickets_batch(
+    registry: &Registry,
+    block: &Digest,
+    query_idx: u64,
+    tickets: &[Ticket],
+) -> Result<(), Vec<usize>> {
+    let msg = sortition_message(block, query_idx);
+    let mut bad = Vec::new();
+    // Cheap exact check first: the sortition rank must be the signature
+    // hash. Entries failing it are excluded from the signature batch so
+    // the combiner only ever sees well-formed tickets.
+    let mut sig_positions = Vec::with_capacity(tickets.len());
+    let mut entries = Vec::with_capacity(tickets.len());
+    for (i, t) in tickets.iter().enumerate() {
+        if sha256(&t.signature.to_bytes()) != t.hash {
+            bad.push(i);
+        } else {
+            sig_positions.push(i);
+            entries.push(BatchEntry {
+                pk: registry.device(t.device_idx).keypair.pk,
+                msg: &msg,
+                sig: t.signature,
+            });
+        }
+    }
+    if let Err(sig_bad) = verify_batch(&entries) {
+        bad.extend(sig_bad.into_iter().map(|j| sig_positions[j]));
+        bad.sort_unstable();
+    }
+    if bad.is_empty() {
+        Ok(())
+    } else {
+        Err(bad)
+    }
+}
+
 /// The selected committees: `committees[k]` lists registry indices of
 /// committee `k`'s members.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -133,7 +204,75 @@ pub struct Committees {
     pub m: usize,
 }
 
+/// The total sortition order: lowest hash first, registry index as the
+/// tie-break. The tie-break makes seating independent of the order in
+/// which tickets were produced even on (adversarially) colliding
+/// hashes; with unique hashes it changes nothing.
+#[inline]
+fn ticket_order(a: &Ticket, b: &Ticket) -> std::cmp::Ordering {
+    a.hash.cmp(&b.hash).then(a.device_idx.cmp(&b.device_idx))
+}
+
+/// Seats `c` committees of `m` from a round's tickets using O(n)
+/// partial selection: `select_nth_unstable` partitions the `c·m` lowest
+/// tickets (by [`ticket_order`]) to the front, and only that prefix is
+/// sorted. Identical committees to [`seat_committees_reference`].
+///
+/// # Panics
+///
+/// Panics if there are fewer than `c·m` tickets.
+pub fn seat_committees(mut tickets: Vec<Ticket>, c: usize, m: usize) -> Committees {
+    let seats = c * m;
+    assert!(
+        tickets.len() >= seats,
+        "{} tickets cannot seat {c} committees of {m}",
+        tickets.len()
+    );
+    if seats > 0 && seats < tickets.len() {
+        tickets.select_nth_unstable_by(seats - 1, ticket_order);
+        tickets.truncate(seats);
+    }
+    tickets.sort_unstable_by(ticket_order);
+    collect_committees(&tickets, c, m)
+}
+
+/// The pre-optimization seating path: a full O(n log n) sort of every
+/// ticket. Kept (and exercised by tests, `wave_smoke`, and
+/// `bench_sortition`) as the parity baseline for [`seat_committees`].
+///
+/// # Panics
+///
+/// Panics if there are fewer than `c·m` tickets.
+pub fn seat_committees_reference(mut tickets: Vec<Ticket>, c: usize, m: usize) -> Committees {
+    assert!(
+        tickets.len() >= c * m,
+        "{} tickets cannot seat {c} committees of {m}",
+        tickets.len()
+    );
+    tickets.sort_by(ticket_order);
+    collect_committees(&tickets, c, m)
+}
+
+/// Reads committee `k` off tickets `[k·m, (k+1)·m)` of the sorted prefix.
+fn collect_committees(sorted: &[Ticket], c: usize, m: usize) -> Committees {
+    let committees = (0..c)
+        .map(|k| {
+            sorted[k * m..(k + 1) * m]
+                .iter()
+                .map(|t| t.device_idx)
+                .collect()
+        })
+        .collect();
+    Committees { committees, m }
+}
+
 /// Runs sortition: selects `c` committees of `m` members each.
+///
+/// Tickets are generated on the process-default `par` pool (ticket `i`
+/// is a pure function of `(registry, block, query_idx, i)`, so results
+/// are bitwise identical at any thread count) and seated by O(n)
+/// partial selection. Committees are identical to
+/// [`select_committees_reference`].
 ///
 /// # Panics
 ///
@@ -145,27 +284,64 @@ pub fn select_committees(
     c: usize,
     m: usize,
 ) -> Committees {
+    select_committees_on(&arboretum_par::global(), registry, block, query_idx, c, m)
+}
+
+/// [`select_committees`] on an explicit thread pool (a zero-worker pool
+/// generates tickets inline on the caller — the single-thread baseline
+/// `bench_sortition` measures).
+///
+/// # Panics
+///
+/// Panics if the registry holds fewer than `c·m` devices.
+pub fn select_committees_on(
+    pool: &ThreadPool,
+    registry: &Registry,
+    block: &Digest,
+    query_idx: u64,
+    c: usize,
+    m: usize,
+) -> Committees {
     assert!(
         registry.len() >= c * m,
         "registry of {} devices cannot seat {c} committees of {m}",
         registry.len()
     );
-    let mut tickets: Vec<Ticket> = registry
+    let msg = Arc::new(sortition_message(block, query_idx));
+    let tickets = par_map_arc(pool, &registry.devices, {
+        let msg = Arc::clone(&msg);
+        move |i, d| make_ticket_with_msg(d, i, &msg)
+    });
+    seat_committees(tickets, c, m)
+}
+
+/// The pre-optimization selection path: serial ticket generation and a
+/// full sort. Bitwise-identical committees to [`select_committees`];
+/// kept as the parity baseline (asserted by tests and the 10^6-device
+/// wave profile) and as the "old" side of `bench_sortition`.
+///
+/// # Panics
+///
+/// Panics if the registry holds fewer than `c·m` devices.
+pub fn select_committees_reference(
+    registry: &Registry,
+    block: &Digest,
+    query_idx: u64,
+    c: usize,
+    m: usize,
+) -> Committees {
+    assert!(
+        registry.len() >= c * m,
+        "registry of {} devices cannot seat {c} committees of {m}",
+        registry.len()
+    );
+    let tickets: Vec<Ticket> = registry
         .devices()
         .iter()
         .enumerate()
         .map(|(i, d)| make_ticket(d, i, block, query_idx))
         .collect();
-    tickets.sort_by_key(|a| a.hash);
-    let committees = (0..c)
-        .map(|k| {
-            tickets[k * m..(k + 1) * m]
-                .iter()
-                .map(|t| t.device_idx)
-                .collect()
-        })
-        .collect();
-    Committees { committees, m }
+    seat_committees_reference(tickets, c, m)
 }
 
 /// Derives the next beacon block from committee-contributed randomness
@@ -299,5 +475,105 @@ mod tests {
     fn undersized_registry_panics() {
         let reg = registry(10);
         select_committees(&reg, &sha256(b"b"), 0, 3, 5);
+    }
+
+    #[test]
+    fn partial_selection_matches_reference_full_sort() {
+        // Fast path (parallel tickets + select_nth prefix) and reference
+        // path (serial + full sort) seat bitwise-identical committees,
+        // including when every device is seated (c·m == n) and when the
+        // pool is the inline zero-worker one.
+        let reg = registry(337);
+        for (c, m, q) in [(4, 10, 1), (1, 337, 0), (3, 5, 9), (5, 25, 2)] {
+            let block = sha256(&[c as u8, m as u8]);
+            let fast = select_committees(&reg, &block, q, c, m);
+            let reference = select_committees_reference(&reg, &block, q, c, m);
+            assert_eq!(fast, reference, "c={c} m={m} q={q}");
+            let inline = select_committees_on(
+                &arboretum_par::ParConfig::serial().pool(),
+                &reg,
+                &block,
+                q,
+                c,
+                m,
+            );
+            assert_eq!(inline, reference, "inline pool diverged at c={c} m={m}");
+        }
+    }
+
+    /// A ticket with a forced hash (regression rig for duplicate-hash
+    /// seating: `sort_by_key(|t| t.hash)` alone would seat colliding
+    /// tickets in production order).
+    fn forced(hash_byte: u8, device_idx: usize) -> Ticket {
+        let t = make_ticket(
+            &Device::from_id(device_idx as u64),
+            device_idx,
+            &sha256(b"x"),
+            0,
+        );
+        Ticket {
+            device_idx,
+            signature: t.signature,
+            hash: [hash_byte; 32],
+        }
+    }
+
+    #[test]
+    fn duplicate_hashes_seat_by_device_index_in_both_paths() {
+        // Three tickets share the lowest hash but only two seats exist:
+        // the (hash, device_idx) key must seat the two lowest indices
+        // regardless of production order.
+        let tickets = vec![
+            forced(7, 4),
+            forced(0, 9),
+            forced(0, 2),
+            forced(3, 1),
+            forced(0, 5),
+        ];
+        let mut reversed = tickets.clone();
+        reversed.reverse();
+        let want = vec![vec![2, 5]];
+        for ts in [tickets, reversed] {
+            let fast = seat_committees(ts.clone(), 1, 2);
+            let reference = seat_committees_reference(ts, 1, 2);
+            assert_eq!(fast.committees, want);
+            assert_eq!(reference.committees, want);
+        }
+    }
+
+    #[test]
+    fn batch_ticket_verification_accepts_honest_rounds() {
+        let reg = registry(60);
+        let block = sha256(b"batch-round");
+        let tickets: Vec<Ticket> = reg
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| make_ticket(d, i, &block, 3))
+            .collect();
+        assert_eq!(verify_tickets_batch(&reg, &block, 3, &tickets), Ok(()));
+    }
+
+    #[test]
+    fn batch_ticket_verification_attributes_exact_forgeries() {
+        use arboretum_crypto::group::Scalar;
+        let reg = registry(50);
+        let block = sha256(b"forged-round");
+        let mut tickets: Vec<Ticket> = reg
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| make_ticket(d, i, &block, 0))
+            .collect();
+        // Three forgery shapes: tampered response, ground (re-hashed)
+        // ticket rank, and a signature stolen from another round.
+        tickets[8].signature.s += Scalar::ONE;
+        tickets[8].hash = sha256(&tickets[8].signature.to_bytes());
+        tickets[19].hash = sha256(b"wishful low hash");
+        tickets[33] = make_ticket(reg.device(33), 33, &block, 1);
+        assert_eq!(
+            verify_tickets_batch(&reg, &block, 0, &tickets),
+            Err(vec![8, 19, 33])
+        );
     }
 }

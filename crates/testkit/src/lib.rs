@@ -25,10 +25,12 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod forgery;
 pub mod harness;
 pub mod schedule;
 
 pub use adaptive::{AdaptiveSchedule, Decision, RealizedSchedule, TranscriptAccumulator};
+pub use forgery::{forgery_plan, run_forgery_sweep, Corruption, ForgeryPlan};
 pub use harness::{
     build_attack_catalog, dump_failure_artifact, run_attack, run_attack_on_catalog, AttackConfig,
     AttackOutcome,
