@@ -1,0 +1,55 @@
+//! Streaming-vs-one-shot ingestion benchmark.
+//!
+//! Writes `BENCH_streaming.json` into the working directory, one row
+//! per window count: per-upload wall time for the one-shot batch run
+//! and the windowed epoch, the overhead factor, and the bitwise
+//! `identical` verdict. `--smoke` shrinks the deployment to finish in
+//! seconds; `--devices` and `--windows` override the axes.
+
+use arboretum_bench::streambench::bench_streaming;
+
+fn main() {
+    let mut n_devices = 512usize;
+    let mut windows: Vec<usize> = vec![1, 2, 4, 8];
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => n_devices = 64,
+            "--devices" => {
+                n_devices = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--devices needs a number");
+            }
+            "--windows" => {
+                windows = args
+                    .next()
+                    .expect("--windows needs a value")
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--windows takes numbers"))
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown flag {other}; use --smoke | --devices N | --windows A,B,C");
+                std::process::exit(2);
+            }
+        }
+    }
+    let bench = bench_streaming(n_devices, &windows);
+    println!(
+        "streaming ingestion: {} devices x {} categories, {} host CPU(s)",
+        bench.n_devices, bench.categories, bench.host_cpus
+    );
+    println!(
+        "{:>8} {:>16} {:>16} {:>9} {:>10}",
+        "windows", "one-shot ns/up", "streamed ns/up", "overhead", "identical"
+    );
+    for p in &bench.points {
+        println!(
+            "{:>8} {:>16.0} {:>16.0} {:>8.2}x {:>10}",
+            p.windows, p.one_shot_ns_per_upload, p.streamed_ns_per_upload, p.overhead, p.identical
+        );
+    }
+    std::fs::write("BENCH_streaming.json", bench.to_json()).expect("write BENCH_streaming.json");
+    println!("wrote BENCH_streaming.json");
+}

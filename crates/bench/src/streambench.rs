@@ -1,0 +1,192 @@
+//! Streaming-vs-one-shot ingestion benchmark, emitting
+//! `BENCH_streaming.json`.
+//!
+//! The streaming contract says a windowed epoch must produce outputs,
+//! budget, and audit verdict bitwise identical to the one-shot batch
+//! run over the same surviving devices — so this benchmark measures
+//! what the windows *cost* (per-window checkpointing and VSR handoffs)
+//! while asserting what they must *not* change. The workload is a
+//! no-churn arrival schedule (every device uploads, none drop), making
+//! the one-shot run on the same standing setup the exact comparator;
+//! each row is one window count, with per-upload wall time for both
+//! paths and the bitwise `identical` verdict.
+
+use std::time::Instant;
+
+use arboretum_lang::ast::DbSchema;
+use arboretum_lang::parser::parse;
+use arboretum_lang::privacy::CertifyConfig;
+use arboretum_par::ParConfig;
+use arboretum_planner::logical::extract;
+use arboretum_planner::search::{plan, PlannerConfig};
+use arboretum_runtime::executor::{execute_on_setup, Deployment, ExecutionConfig};
+use arboretum_runtime::setup::build_session_setup;
+use arboretum_runtime::stream::{execute_stream, ArrivalSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One window-count measurement.
+#[derive(Clone, Debug)]
+pub struct StreamPoint {
+    /// Ingestion windows the epoch was split into.
+    pub windows: usize,
+    /// One-shot batch wall time per accepted upload (nanoseconds).
+    pub one_shot_ns_per_upload: f64,
+    /// Streamed wall time per accepted upload (nanoseconds).
+    pub streamed_ns_per_upload: f64,
+    /// `streamed / one_shot` — the windowing overhead factor.
+    pub overhead: f64,
+    /// Whether the streamed epoch's outputs, accepted/rejected counts,
+    /// budget bits, and audit verdict were bitwise identical to the
+    /// one-shot run.
+    pub identical: bool,
+}
+
+/// The streaming ingestion benchmark over one standing session setup.
+#[derive(Clone, Debug)]
+pub struct StreamBench {
+    /// Uploading devices.
+    pub n_devices: usize,
+    /// One-hot categories in the schema.
+    pub categories: usize,
+    /// CPUs available to the benchmarking process.
+    pub host_cpus: usize,
+    /// One measurement per benchmarked window count.
+    pub points: Vec<StreamPoint>,
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs the streaming benchmark: one one-shot reference timing, then
+/// one streamed epoch per entry of `window_counts`, all over the same
+/// standing setup and the same no-churn arrival schedule.
+///
+/// # Panics
+///
+/// Panics if the query pipeline or an execution fails — a benchmark
+/// binary has nothing better to do with a broken workload.
+pub fn bench_streaming(n_devices: usize, window_counts: &[usize]) -> StreamBench {
+    let categories = 4usize;
+    let assignments: Vec<usize> = (0..n_devices).map(|i| i % categories).collect();
+    let deployment = Deployment::one_hot(&assignments, categories);
+    let schema = DbSchema::one_hot(n_devices as u64, categories);
+    let src = "aggr = sum(db); r = em(aggr, 8.0); output(r);";
+    let lp = extract(
+        &parse(src).expect("parse"),
+        &schema,
+        CertifyConfig::default(),
+    )
+    .expect("extract");
+    let (physical, _) = plan(&lp, &PlannerConfig::paper_defaults(1 << 30)).expect("plan");
+    let cfg = ExecutionConfig {
+        par: ParConfig::default(),
+        ..ExecutionConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let setup = build_session_setup(&deployment, cfg.committee_size, cfg.seed, &mut rng)
+        .expect("session setup");
+
+    // Untimed warm-up, then the timed one-shot reference.
+    let _ = execute_on_setup(&physical, &lp, &deployment, &cfg, &setup, None, None)
+        .expect("warm-up run");
+    let start = Instant::now();
+    let (one_shot, _) = execute_on_setup(&physical, &lp, &deployment, &cfg, &setup, None, None)
+        .expect("one-shot run");
+    let one_shot_secs = start.elapsed().as_secs_f64();
+    let uploads = one_shot.accepted_inputs.max(1) as f64;
+    let one_shot_ns = one_shot_secs * 1e9 / uploads;
+
+    let points = window_counts
+        .iter()
+        .map(|&w| {
+            // No churn: every device arrives, spread across windows, so
+            // the surviving set equals the one-shot run's input set.
+            let derived = ArrivalSchedule::derive(cfg.seed, n_devices, w.max(1));
+            let schedule = ArrivalSchedule {
+                drop: vec![None; n_devices],
+                ..derived
+            };
+            let start = Instant::now();
+            let streamed =
+                execute_stream(&physical, &lp, &deployment, &cfg, &setup, &schedule, None)
+                    .expect("streamed run");
+            let streamed_secs = start.elapsed().as_secs_f64();
+            let streamed_ns = streamed_secs * 1e9 / uploads;
+            let identical = streamed.report.outputs == one_shot.outputs
+                && streamed.report.accepted_inputs == one_shot.accepted_inputs
+                && streamed.report.rejected_inputs == one_shot.rejected_inputs
+                && streamed.report.budget_after.epsilon.to_bits()
+                    == one_shot.budget_after.epsilon.to_bits()
+                && streamed.report.audit_ok == one_shot.audit_ok;
+            StreamPoint {
+                windows: w.max(1),
+                one_shot_ns_per_upload: one_shot_ns,
+                streamed_ns_per_upload: streamed_ns,
+                overhead: streamed_secs / one_shot_secs,
+                identical,
+            }
+        })
+        .collect();
+
+    StreamBench {
+        n_devices,
+        categories,
+        host_cpus: host_cpus(),
+        points,
+    }
+}
+
+impl StreamBench {
+    /// Renders the benchmark as a JSON document (the schema of
+    /// `BENCH_streaming.json`).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{ \"windows\": {}, \"one_shot_ns_per_upload\": {:.1}, \
+                     \"streamed_ns_per_upload\": {:.1}, \"overhead\": {:.4}, \
+                     \"identical\": {} }}",
+                    p.windows,
+                    p.one_shot_ns_per_upload,
+                    p.streamed_ns_per_upload,
+                    p.overhead,
+                    p.identical
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"streaming_ingestion\",\n  \"n_devices\": {},\n  \
+             \"categories\": {},\n  \"host_cpus\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+            self.n_devices,
+            self.categories,
+            self.host_cpus,
+            rows.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_bench_smoke_is_identical_at_every_window_count() {
+        let b = bench_streaming(29, &[1, 3]);
+        assert_eq!(b.points.len(), 2);
+        for p in &b.points {
+            assert!(
+                p.identical,
+                "streamed epoch diverged from one-shot at windows={}",
+                p.windows
+            );
+            assert!(p.streamed_ns_per_upload > 0.0);
+        }
+        let json = b.to_json();
+        assert!(json.contains("\"bench\": \"streaming_ingestion\""));
+        assert!(json.contains("\"identical\": true"));
+    }
+}

@@ -15,6 +15,12 @@
 //!   --goal METRIC         agg-secs | agg-bytes | exp-secs | max-secs |
 //!                         exp-bytes | max-bytes               [default exp-secs]
 //!   --counts a,b,c,...    simulated per-category populations (run only)
+//!   --windows N           run only: ingest uploads in N streaming windows
+//!                         with seed-derived device churn, folding each
+//!                         window into a checkpointed accumulator and
+//!                         decrypting once at epoch close (outputs are
+//!                         bitwise identical to the batch run over the
+//!                         same surviving devices)
 //!   --seed S              simulation seed                      [default 7]
 //!   --threads N           worker threads for the planner's parallel
 //!                         search and the aggregator's parallel phases
@@ -38,6 +44,14 @@
 //!   --adaptive            drive the run with an adaptive adversary whose
 //!                         decisions condition on observed traffic (the
 //!                         failure artifact logs every decision)
+//!   --stream              mid-stream battery instead of the batch one:
+//!                         a seed-drawn device tampers in one ingestion
+//!                         window and a committee seat crashes during a
+//!                         VSR handoff; the cross-checks demand exactly
+//!                         one typed detection each with window-exact
+//!                         attribution and bitwise-untouched honest
+//!                         checkpoints
+//!   --windows N           ingestion windows for --stream       [default 4]
 //!   --fabric F            fabric for the MPC engines and the networked
 //!                         fault phase: sim | threaded | evented
 //!                         (outcomes are identical on every fabric)
@@ -77,6 +91,7 @@ struct Options {
     trust_sens: bool,
     goal: Goal,
     counts: Option<Vec<usize>>,
+    windows: Option<usize>,
     seed: u64,
     threads: Option<usize>,
     shards: Option<usize>,
@@ -91,6 +106,7 @@ impl Default for Options {
             trust_sens: false,
             goal: Goal::ParticipantExpectedSecs,
             counts: None,
+            windows: None,
             seed: 7,
             threads: None,
             shards: None,
@@ -129,6 +145,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let counts: Result<Vec<usize>, _> = list.split(',').map(str::parse).collect();
                 o.counts = Some(counts.map_err(|e| format!("bad counts: {e}"))?);
             }
+            "--windows" => {
+                let w: usize = next(args, &mut i)?.parse().map_err(|e| format!("{e}"))?;
+                if w == 0 {
+                    return Err("--windows must be a positive integer".to_string());
+                }
+                o.windows = Some(w);
+            }
             "--seed" => o.seed = next(args, &mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--threads" => {
                 o.threads = Some(next(args, &mut i)?.parse().map_err(|e| format!("{e}"))?);
@@ -162,6 +185,8 @@ fn attack(args: &[String]) -> ExitCode {
     let mut cfg = AttackConfig::new(0);
     let (mut threads, mut shards) = (None, None);
     let mut service_path = false;
+    let mut stream = false;
+    let mut windows = 4usize;
     let mut i = 0;
     while i < args.len() {
         let r = match args[i].as_str() {
@@ -197,6 +222,17 @@ fn attack(args: &[String]) -> ExitCode {
                 cfg.adaptive = true;
                 Ok(())
             }
+            "--stream" => {
+                stream = true;
+                Ok(())
+            }
+            "--windows" => next(args, &mut i).and_then(|v| {
+                windows = v.parse().map_err(|e| format!("{e}"))?;
+                if windows == 0 {
+                    return Err("--windows must be a positive integer".to_string());
+                }
+                Ok(())
+            }),
             "--threads" => next(args, &mut i).and_then(|v| {
                 threads = Some(
                     v.parse()
@@ -229,6 +265,9 @@ fn attack(args: &[String]) -> ExitCode {
     if let Some(s) = shards {
         cfg.par = cfg.par.with_shards(s);
     }
+    if stream {
+        return stream_attack(&cfg, windows);
+    }
     let result = if service_path {
         build_attack_catalog(&cfg).and_then(|catalog| run_attack_on_catalog(&cfg, &catalog))
     } else {
@@ -248,6 +287,42 @@ fn attack(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("attack run failed to execute: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the mid-stream adversary battery (`arboretum attack --stream`):
+/// a seed-drawn device tampers in one ingestion window and a committee
+/// seat crashes during a VSR handoff, and the cross-checks demand
+/// window-exact typed detections with every honest checkpoint bitwise
+/// untouched.
+fn stream_attack(cfg: &arboretum_testkit::AttackConfig, windows: usize) -> ExitCode {
+    use arboretum_testkit::{dump_stream_failure_artifact, run_stream_attack, StreamAttackConfig};
+
+    let stream_cfg = StreamAttackConfig {
+        seed: cfg.seed,
+        n_devices: cfg.n_devices,
+        windows,
+        numeric: cfg.numeric,
+        par: cfg.par,
+        fabric: cfg.fabric,
+        ..StreamAttackConfig::new(cfg.seed)
+    };
+    match run_stream_attack(&stream_cfg) {
+        Ok(outcome) => {
+            println!("{}", outcome.summary());
+            if outcome.ok() {
+                ExitCode::SUCCESS
+            } else {
+                if let Ok(path) = dump_stream_failure_artifact(&stream_cfg, &outcome) {
+                    eprintln!("artifact: {}", path.display());
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("stream attack failed to execute: {e}");
             ExitCode::FAILURE
         }
     }
@@ -431,6 +506,7 @@ fn dispatch(cmd: &str, source: &str, opts: &Options) -> ExitCode {
         arboretum::par::configure_global(arboretum::par::ParConfig {
             threads: opts.threads,
             shards: opts.shards,
+            chunk: None,
         });
     }
     if let Some(kind) = opts.fabric {
@@ -445,6 +521,10 @@ fn dispatch(cmd: &str, source: &str, opts: &Options) -> ExitCode {
     };
     let mut system = Arboretum::new(opts.participants);
     system.config.goal = opts.goal;
+    // Streaming epochs offer the planner the per-window-vs-whole-epoch
+    // choice; appended last, so plans only change when a per-window
+    // aggregator-time cap binds.
+    system.config.stream_windows = opts.windows.map(|w| w as u64);
 
     let prepared = match system.prepare(source, schema, certify_cfg) {
         Ok(p) => p,
@@ -524,6 +604,9 @@ fn dispatch(cmd: &str, source: &str, opts: &Options) -> ExitCode {
         seed: opts.seed,
         ..Default::default()
     };
+    if let Some(windows) = opts.windows {
+        return run_streamed(&system, &prepared, &deployment, &exec, windows);
+    }
     match system.run(&prepared, &deployment, &exec) {
         Ok(report) => {
             println!("\nexecuted on {} simulated devices:", assignments.len());
@@ -559,6 +642,73 @@ fn dispatch(cmd: &str, source: &str, opts: &Options) -> ExitCode {
         }
         Err(e) => {
             eprintln!("execution failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Executes `arboretum run --windows N`: a windowed ingestion epoch
+/// with seed-derived device churn, printing every checkpoint and the
+/// close-time report.
+fn run_streamed(
+    system: &Arboretum,
+    prepared: &arboretum::PreparedQuery,
+    deployment: &Deployment,
+    exec: &ExecutionConfig,
+    windows: usize,
+) -> ExitCode {
+    match system.run_stream(prepared, deployment, exec, windows) {
+        Ok(stream) => {
+            println!(
+                "\nstreamed {} windows over {} simulated devices:",
+                stream.checkpoints.len(),
+                deployment.db.len()
+            );
+            for c in &stream.checkpoints {
+                println!(
+                    "  window {}: {} arrivals, {} accepted, {} rejected ({} cumulative){}{}",
+                    c.window,
+                    c.arrivals,
+                    c.accepted,
+                    c.rejected,
+                    c.cumulative_accepted,
+                    c.accumulator_digest
+                        .map(|d| format!(
+                            ", acc {}",
+                            d[..4]
+                                .iter()
+                                .map(|b| format!("{b:02x}"))
+                                .collect::<String>()
+                        ))
+                        .unwrap_or_default(),
+                    if c.handoff_digest.is_some() {
+                        format!(", handoff {} B", c.handoff_bytes)
+                    } else {
+                        String::new()
+                    },
+                );
+            }
+            if !stream.detections.is_empty() {
+                println!("  detections:");
+                for d in &stream.detections {
+                    println!(
+                        "    window {} | {:?}: {:?}",
+                        d.window, d.detection.subject, d.detection.kind
+                    );
+                }
+            }
+            let report = &stream.report;
+            println!("  outputs: {:?}", report.outputs);
+            println!(
+                "  inputs: {} accepted, {} rejected",
+                report.accepted_inputs, report.rejected_inputs
+            );
+            println!("  audit ok: {}", report.audit_ok);
+            println!("  budget remaining: {:.4}", report.budget_after.epsilon);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("streamed execution failed: {e}");
             ExitCode::FAILURE
         }
     }

@@ -75,6 +75,8 @@ pub enum ArboretumError {
     Plan(arboretum_planner::search::PlanError),
     /// Execution failed.
     Execute(arboretum_runtime::executor::ExecError),
+    /// Streaming (windowed ingestion) execution failed.
+    Stream(arboretum_runtime::stream::StreamError),
 }
 
 impl std::fmt::Display for ArboretumError {
@@ -84,6 +86,7 @@ impl std::fmt::Display for ArboretumError {
             Self::Extract(e) => write!(f, "{e}"),
             Self::Plan(e) => write!(f, "{e}"),
             Self::Execute(e) => write!(f, "{e}"),
+            Self::Stream(e) => write!(f, "{e}"),
         }
     }
 }
@@ -158,6 +161,51 @@ impl Arboretum {
         cfg: &ExecutionConfig,
     ) -> Result<ExecutionReport, ArboretumError> {
         execute(&prepared.plan, &prepared.logical, deployment, cfg).map_err(ArboretumError::Execute)
+    }
+
+    /// Executes a prepared query as a windowed ingestion stream:
+    /// devices arrive over `windows` seed-derived churn windows, each
+    /// window's uploads fold into a checkpointed accumulator, and the
+    /// epoch decrypts once at close. Outputs, budget, and audit verdict
+    /// are bitwise identical to [`Self::run`] over the same surviving
+    /// device set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArboretumError::Execute`] if the session setup fails
+    /// and [`ArboretumError::Stream`] on streaming protocol failures.
+    pub fn run_stream(
+        &self,
+        prepared: &PreparedQuery,
+        deployment: &Deployment,
+        cfg: &ExecutionConfig,
+        windows: usize,
+    ) -> Result<arboretum_runtime::stream::StreamReport, ArboretumError> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let setup = arboretum_runtime::setup::build_session_setup(
+            deployment,
+            cfg.committee_size,
+            cfg.seed,
+            &mut rng,
+        )
+        .map_err(ArboretumError::Execute)?;
+        let schedule = arboretum_runtime::stream::ArrivalSchedule::derive(
+            cfg.seed,
+            deployment.db.len(),
+            windows.max(1),
+        );
+        arboretum_runtime::stream::execute_stream(
+            &prepared.plan,
+            &prepared.logical,
+            deployment,
+            cfg,
+            &setup,
+            &schedule,
+            None,
+        )
+        .map_err(ArboretumError::Stream)
     }
 }
 

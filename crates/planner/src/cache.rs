@@ -61,6 +61,8 @@ impl QuerySignature {
         key.push_str(&format!("{:?}", cfg.cost_model));
         key.push_str("\x1fheuristics=");
         key.push_str(&format!("{:?}", cfg.use_heuristics));
+        key.push_str("\x1fstream_windows=");
+        key.push_str(&format!("{:?}", cfg.stream_windows));
         Self(key)
     }
 

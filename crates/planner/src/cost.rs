@@ -13,7 +13,8 @@
 
 use arboretum_par::PoolStats;
 
-/// The six metrics of §4.2.
+/// The six metrics of §4.2, plus the streaming refinement of the
+/// aggregator-time metric.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Metrics {
     /// Aggregator computation time (core-seconds).
@@ -28,6 +29,12 @@ pub struct Metrics {
     pub part_exp_bytes: f64,
     /// Maximum per-participant bytes sent.
     pub part_max_bytes: f64,
+    /// Aggregator core-seconds attributable to a single ingestion
+    /// window of the aggregation stage. For whole-epoch plans this
+    /// equals the stage's `agg_secs`; windowed ingestion amortizes the
+    /// same total over `w` windows plus per-window checkpoint and
+    /// handoff overheads.
+    pub window_agg_secs: f64,
 }
 
 impl Metrics {
@@ -37,6 +44,7 @@ impl Metrics {
         self.agg_bytes += other.agg_bytes;
         self.part_exp_secs += other.part_exp_secs;
         self.part_exp_bytes += other.part_exp_bytes;
+        self.window_agg_secs += other.window_agg_secs;
         // A device serves on at most one committee per query (§5.1), so
         // worst-case cost is the worst single role, not a sum.
         self.part_max_secs = self.part_max_secs.max(other.part_max_secs);
@@ -89,6 +97,9 @@ pub struct Limits {
     pub part_exp_bytes: Option<f64>,
     /// Maximum participant bytes.
     pub part_max_bytes: Option<f64>,
+    /// Aggregator core-seconds per ingestion window (streaming
+    /// deployments with a fixed per-window compute budget).
+    pub window_agg_secs: Option<f64>,
 }
 
 impl Limits {
@@ -107,6 +118,7 @@ impl Limits {
             part_max_secs: Some(20.0 * 60.0),
             part_exp_bytes: None,
             part_max_bytes: Some(4.0e9),
+            window_agg_secs: None,
         }
     }
 
@@ -121,6 +133,7 @@ impl Limits {
             || over(self.part_max_secs, m.part_max_secs)
             || over(self.part_exp_bytes, m.part_exp_bytes)
             || over(self.part_max_bytes, m.part_max_bytes)
+            || over(self.window_agg_secs, m.window_agg_secs)
     }
 }
 
@@ -177,6 +190,12 @@ pub struct CostModel {
     pub mpc_compare_bytes: f64,
     /// VSR handoff per member per secret of ciphertext size, bytes.
     pub vsr_bytes_factor: f64,
+    /// Streaming: serializing one accumulator checkpoint (ciphertext
+    /// digest + counters), seconds per window.
+    pub stream_checkpoint_secs: f64,
+    /// Streaming: one committee VSR handoff across a window boundary,
+    /// aggregator-relayed, seconds per boundary.
+    pub stream_handoff_secs: f64,
     /// Reference full ring degree.
     pub full_degree: f64,
 }
@@ -207,6 +226,8 @@ impl Default for CostModel {
             mpc_compare_secs: 3.0,
             mpc_compare_bytes: 2.0e6,
             vsr_bytes_factor: 2.0,
+            stream_checkpoint_secs: 0.05,
+            stream_handoff_secs: 0.2,
             full_degree: (1 << 15) as f64,
         }
     }
@@ -341,6 +362,7 @@ mod tests {
             part_max_secs: 100.0,
             part_exp_bytes: 5.0,
             part_max_bytes: 50.0,
+            window_agg_secs: 0.5,
         };
         let b = Metrics {
             agg_secs: 2.0,
@@ -349,6 +371,7 @@ mod tests {
             part_max_secs: 30.0,
             part_exp_bytes: 6.0,
             part_max_bytes: 500.0,
+            window_agg_secs: 0.25,
         };
         let c = a.combine(b);
         assert_eq!(c.agg_secs, 3.0);
@@ -356,6 +379,7 @@ mod tests {
         assert!((c.part_exp_secs - 0.3).abs() < 1e-12);
         assert_eq!(c.part_max_secs, 100.0);
         assert_eq!(c.part_max_bytes, 500.0);
+        assert_eq!(c.window_agg_secs, 0.75);
     }
 
     #[test]
@@ -373,6 +397,18 @@ mod tests {
             ..Metrics::default()
         };
         assert!(l.violated_by(&bad));
+        // The per-window cap is unconstrained by default but enforced
+        // when set.
+        let windowed = Metrics {
+            window_agg_secs: 2.0,
+            ..Metrics::default()
+        };
+        assert!(!l.violated_by(&windowed));
+        let capped = Limits {
+            window_agg_secs: Some(1.0),
+            ..Limits::paper_defaults()
+        };
+        assert!(capped.violated_by(&windowed));
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn handles_confidential(op: &PhysOp) -> bool {
         PhysOp::EncryptInputs
             | PhysOp::AggregatorSum
             | PhysOp::SumTree { .. }
+            | PhysOp::WindowedIngest { .. }
             | PhysOp::ScorePrepFhe { .. }
             | PhysOp::ScorePrepMpc { .. }
             | PhysOp::DecryptShares { .. }

@@ -64,6 +64,14 @@ pub enum PhysOp {
         /// Children per tree node.
         fanout: u64,
     },
+    /// Aggregator ingests uploads in `windows` streaming windows,
+    /// folding each window's ⊞-partials into a checkpointed
+    /// accumulator with a committee VSR handoff at every boundary
+    /// (`runtime::stream`).
+    WindowedIngest {
+        /// Number of ingestion windows in the epoch.
+        windows: u64,
+    },
     /// Aggregator evaluates score preparation under FHE.
     ScorePrepFhe {
         /// Arithmetic (mul-grade) operations per category.
@@ -261,6 +269,8 @@ pub fn vignette_metrics(v: &Vignette, cm: &CostModel, n: u64, categories: u64, m
         PhysOp::AggregatorSum => {
             // Per upload: deserialize/ingest plus the homomorphic add.
             out.agg_secs = nf * (cm.agg_ingest_secs + cm.bgv_add_secs * ds) * blocks;
+            // One-shot ingestion is a single window.
+            out.window_agg_secs = out.agg_secs;
         }
         PhysOp::SumTree { fanout } => {
             let inputs = nf * blocks;
@@ -273,7 +283,35 @@ pub fn vignette_metrics(v: &Vignette, cm: &CostModel, n: u64, categories: u64, m
             out.part_max_bytes = node_bytes;
             // The aggregator relays every child ciphertext to its node.
             out.agg_bytes = nodes * *fanout as f64 * ct;
-            out.agg_secs = nodes * 1.0e-5;
+            // Tree levels overlap (`par_sum_chunks` runs every level on
+            // the same pool), so the relay makespan is the leaf level
+            // plus one pipelined slot per interior level — not the
+            // sequential node total.
+            let f = (*fanout as f64).max(2.0);
+            let leaf_nodes = (inputs / f).ceil();
+            let mut level = leaf_nodes;
+            let mut depth = 1.0;
+            while level > 1.0 {
+                level = (level / f).ceil();
+                depth += 1.0;
+            }
+            out.agg_secs = (leaf_nodes + depth - 1.0) * 1.0e-5;
+            out.window_agg_secs = out.agg_secs;
+        }
+        PhysOp::WindowedIngest { windows } => {
+            let w = (*windows).max(1) as f64;
+            // Same ⊞-fold work as `AggregatorSum` in total...
+            let total = nf * (cm.agg_ingest_secs + cm.bgv_add_secs * ds) * blocks;
+            let boundaries = w - 1.0;
+            // ...plus a checkpoint per window and a VSR handoff per
+            // boundary.
+            out.agg_secs =
+                total + w * cm.stream_checkpoint_secs + boundaries * cm.stream_handoff_secs;
+            out.window_agg_secs = total / w + cm.stream_checkpoint_secs + cm.stream_handoff_secs;
+            // Boundary handoffs relay each member's resharing batch
+            // (ciphertext-sized, ×vsr_bytes_factor) through the
+            // aggregator mailbox.
+            out.agg_bytes = boundaries * m as f64 * cm.vsr_bytes_factor * ct;
         }
         PhysOp::ScorePrepFhe {
             ops_per_category,
@@ -491,6 +529,59 @@ mod tests {
         assert!(mt.agg_secs < ma.agg_secs / 100.0, "tree offloads compute");
         assert!(mt.agg_bytes > ma.agg_bytes, "tree costs forwarding bytes");
         assert!(mt.part_exp_secs > ma.part_exp_secs, "participants pay");
+    }
+
+    #[test]
+    fn sum_tree_relay_is_pipelined_not_sequential() {
+        let n = 1u64 << 30;
+        let c = 1u64 << 15;
+        let tree = vignette(
+            PhysOp::SumTree { fanout: 64 },
+            Location::Participants(n / 64),
+            Scheme::Ahe,
+        );
+        let mt = vignette_metrics(&tree, &cm(), n, c, 40);
+        // Sequential relay over every node would cost nodes × 10 µs;
+        // the pipelined makespan is bounded below by the leaf level and
+        // above by the old sequential model.
+        let nodes = ((n as f64) / 63.0).ceil();
+        let leaves = ((n as f64) / 64.0).ceil();
+        assert!(mt.agg_secs < nodes * 1.0e-5, "{}", mt.agg_secs);
+        assert!(mt.agg_secs >= leaves * 1.0e-5, "{}", mt.agg_secs);
+    }
+
+    #[test]
+    fn windowed_ingest_amortizes_per_window_cost() {
+        let n = 1u64 << 20;
+        let c = 1u64 << 10;
+        let one_shot = vignette(PhysOp::AggregatorSum, Location::Aggregator, Scheme::Ahe);
+        let windowed = vignette(
+            PhysOp::WindowedIngest { windows: 8 },
+            Location::Aggregator,
+            Scheme::Ahe,
+        );
+        let ma = vignette_metrics(&one_shot, &cm(), n, c, 40);
+        let mw = vignette_metrics(&windowed, &cm(), n, c, 40);
+        // Whole-epoch aggregator time gains checkpoint + handoff
+        // overhead...
+        assert!(mw.agg_secs > ma.agg_secs);
+        // ...but the per-window budget drops by roughly the window
+        // count.
+        assert!(mw.window_agg_secs < ma.window_agg_secs / 4.0);
+        // Every boundary relays VSR resharing traffic through the
+        // aggregator mailbox; one-shot ingestion relays none.
+        assert!(mw.agg_bytes > 0.0);
+        assert_eq!(ma.agg_bytes, 0.0);
+        // A single window degenerates to the batch row plus exactly one
+        // checkpoint.
+        let single = vignette(
+            PhysOp::WindowedIngest { windows: 1 },
+            Location::Aggregator,
+            Scheme::Ahe,
+        );
+        let ms = vignette_metrics(&single, &cm(), n, c, 40);
+        assert!((ms.agg_secs - ma.agg_secs - cm().stream_checkpoint_secs).abs() < 1e-9);
+        assert_eq!(ms.agg_bytes, 0.0);
     }
 
     #[test]

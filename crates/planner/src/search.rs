@@ -42,6 +42,12 @@ pub struct PlannerConfig {
     /// plan is identical at every thread count (see [`plan`]); only
     /// wall-clock time and the search statistics vary.
     pub par: ParConfig,
+    /// Streaming deployments: when `Some(w)`, the aggregation stage
+    /// additionally offers a [`PhysOp::WindowedIngest`] alternative
+    /// that folds uploads over `w` checkpointed windows
+    /// (`runtime::stream`). `None` (the default) leaves the plan space
+    /// exactly as before.
+    pub stream_windows: Option<u64>,
 }
 
 impl PlannerConfig {
@@ -56,6 +62,7 @@ impl PlannerConfig {
             cost_model: CostModel::default(),
             use_heuristics: true,
             par: ParConfig::auto(),
+            stream_windows: None,
         }
     }
 }
@@ -94,7 +101,7 @@ impl std::fmt::Display for PlanError {
 impl std::error::Error for PlanError {}
 
 /// The alternatives for one logical operator.
-fn alternatives(op: &LogicalOp, lp: &LogicalPlan) -> Vec<Vec<Vignette>> {
+fn alternatives(op: &LogicalOp, lp: &LogicalPlan, cfg: &PlannerConfig) -> Vec<Vec<Vignette>> {
     let c = lp.max_categories().max(1);
     match op {
         LogicalOp::Sample { .. } => {
@@ -112,6 +119,19 @@ fn alternatives(op: &LogicalOp, lp: &LogicalPlan) -> Vec<Vec<Vignette>> {
                 alts.push(vec![vignette(
                     PhysOp::SumTree { fanout },
                     Location::Participants(lp.schema.participants / fanout.max(1)),
+                    Scheme::Ahe,
+                )]);
+            }
+            // Streaming sessions additionally offer windowed ingestion.
+            // Appended last so the lexicographic tie-break (and thus
+            // every existing plan signature) is untouched when the cap
+            // on per-window aggregator time does not bind.
+            if let Some(windows) = cfg.stream_windows {
+                alts.push(vec![vignette(
+                    PhysOp::WindowedIngest {
+                        windows: windows.max(1),
+                    },
+                    Location::Aggregator,
                     Scheme::Ahe,
                 )]);
             }
@@ -276,7 +296,8 @@ pub fn plan(lp: &LogicalPlan, cfg: &PlannerConfig) -> Result<(Plan, PlanStats), 
         ),
         vignette(PhysOp::VerifyInputs, Location::Aggregator, Scheme::Ahe),
     ];
-    let choices: Vec<Vec<Vec<Vignette>>> = lp.ops.iter().map(|op| alternatives(op, lp)).collect();
+    let choices: Vec<Vec<Vec<Vignette>>> =
+        lp.ops.iter().map(|op| alternatives(op, lp, cfg)).collect();
 
     let mut stats = PlanStats::default();
     let mut best: Option<Plan> = None;
@@ -816,6 +837,52 @@ mod tests {
         assert!(
             p_tight.metrics.part_exp_secs >= p_free.metrics.part_exp_secs,
             "outsourcing shifts cost to participants"
+        );
+    }
+
+    #[test]
+    fn window_limit_forces_windowed_ingest() {
+        // A per-window aggregator cap below the one-shot sum's cost
+        // rules out `AggregatorSum`; with windowed ingestion offered,
+        // the planner picks it over the participant sum trees (the goal
+        // is expected participant seconds, and windowing costs
+        // participants nothing).
+        let lp = top1(1 << 15);
+        let n = 1u64 << 30;
+        let mut cfg = PlannerConfig::paper_defaults(n);
+        cfg.stream_windows = Some(8);
+        // Offering the alternative without a binding cap changes
+        // nothing: the one-shot sum still wins the tie on the goal.
+        let reference = plan(&lp, &PlannerConfig::paper_defaults(n)).unwrap().0;
+        let offered = plan(&lp, &cfg).unwrap().0;
+        assert_eq!(offered.signature(), reference.signature());
+
+        let sum_secs = n as f64 * (cfg.cost_model.agg_ingest_secs + cfg.cost_model.bgv_add_secs);
+        cfg.limits.window_agg_secs = Some(0.5 * sum_secs);
+        let (p, _) = plan(&lp, &cfg).unwrap();
+        assert!(
+            p.vignettes
+                .iter()
+                .any(|v| matches!(v.op, PhysOp::WindowedIngest { windows: 8 })),
+            "capped plan must ingest in windows, got {:?}",
+            p.vignettes
+        );
+        assert!(p
+            .vignettes
+            .iter()
+            .all(|v| !matches!(v.op, PhysOp::AggregatorSum | PhysOp::SumTree { .. })));
+        // Without the windowed alternative the same cap is infeasible
+        // for the aggregator row and must fall back to sum trees.
+        let mut no_stream = cfg.clone();
+        no_stream.stream_windows = None;
+        let (p_tree, _) = plan(&lp, &no_stream).unwrap();
+        assert!(p_tree
+            .vignettes
+            .iter()
+            .any(|v| matches!(v.op, PhysOp::SumTree { .. })));
+        assert!(
+            p.metrics.part_exp_secs <= p_tree.metrics.part_exp_secs,
+            "windowing keeps the sum off the participants"
         );
     }
 

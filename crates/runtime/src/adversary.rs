@@ -226,6 +226,13 @@ pub enum DetectionKind {
         /// Evaluation points of the failing subshares.
         subshares: Vec<u64>,
     },
+    /// A committee member went silent during a streaming window-boundary
+    /// key handoff: its subshare batch never arrived.
+    HandoffDropout {
+        /// The window boundary (handoff from window `boundary` to
+        /// `boundary + 1`) where the member dropped out.
+        boundary: usize,
+    },
     /// The published step log commits contents that disagree with the
     /// honest recomputation at one step (e.g. a wrong partial sum).
     AuditStepMismatch {
@@ -292,6 +299,8 @@ pub enum DetectionClass {
     VsrEquivocation,
     /// See [`DetectionKind::VsrBadSubshares`].
     VsrBadSubshares,
+    /// See [`DetectionKind::HandoffDropout`].
+    HandoffDropout,
     /// See [`DetectionKind::AuditStepMismatch`].
     AuditStepMismatch,
     /// See [`DetectionKind::AuditDroppedUpload`].
@@ -321,6 +330,7 @@ impl DetectionKind {
             Self::StaleSignature => DetectionClass::StaleSignature,
             Self::VsrEquivocation => DetectionClass::VsrEquivocation,
             Self::VsrBadSubshares { .. } => DetectionClass::VsrBadSubshares,
+            Self::HandoffDropout { .. } => DetectionClass::HandoffDropout,
             Self::AuditStepMismatch { .. } => DetectionClass::AuditStepMismatch,
             Self::AuditDroppedUpload { .. } => DetectionClass::AuditDroppedUpload,
             Self::AuditForgedProof { .. } => DetectionClass::AuditForgedProof,

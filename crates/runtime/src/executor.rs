@@ -53,7 +53,7 @@ use crate::setup::{SessionSetup, SetupCounters};
 /// Finds the top-level aggregation statement `var = sum(<db view>)`,
 /// returning the bound variable name and the index of the statement
 /// *after* it.
-fn find_aggregation(program: &arboretum_lang::ast::Program) -> Option<(String, usize)> {
+pub(crate) fn find_aggregation(program: &arboretum_lang::ast::Program) -> Option<(String, usize)> {
     use arboretum_lang::ast::{Builtin, Expr, Stmt};
     let mut db_views = vec!["db".to_string()];
     for (i, stmt) in program.stmts.iter().enumerate() {
@@ -1163,16 +1163,16 @@ fn execute_inner(
 // Small helpers to derive distinct RNG stream tags without magic numbers
 // at the call sites.
 #[allow(non_snake_case)]
-fn _tag(b: &[u8]) -> u64 {
+pub(crate) fn _tag(b: &[u8]) -> u64 {
     let d = sha256(b);
     u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]])
 }
 
-fn x0p5_tag() -> u64 {
+pub(crate) fn x0p5_tag() -> u64 {
     _tag(b"mechanism-mpc")
 }
 
-fn upload_tag() -> u64 {
+pub(crate) fn upload_tag() -> u64 {
     _tag(b"phase-a-uploads")
 }
 

@@ -19,6 +19,7 @@ pub mod mpc_eval;
 pub mod net_exec;
 pub mod session;
 pub mod setup;
+pub mod stream;
 pub mod wave;
 
 pub use adversary::{
@@ -42,5 +43,9 @@ pub use session::{reassign_for_churn, QueryRecord, Session, SessionError};
 pub use setup::{
     build_session_setup, build_session_setup_observed, build_session_setup_on, SessionSetup,
     SetupCounters, SETUP_ROLES,
+};
+pub use stream::{
+    execute_stream, ArrivalSchedule, HonestStream, StreamAdversary, StreamDetection, StreamError,
+    StreamExecutor, StreamReport, WindowCheckpoint, DEFAULT_STREAM_CHUNK,
 };
 pub use wave::{run_wave, sortition_parity, WaveConfig, WaveReport};

@@ -33,6 +33,7 @@ use arboretum_runtime::executor::{
     execute_on_setup, Deployment, ExecError, ExecutionConfig, ExecutionReport,
 };
 use arboretum_runtime::setup::{build_session_setup, SessionSetup};
+use arboretum_runtime::stream::{ArrivalSchedule, StreamError, StreamExecutor, StreamReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -218,6 +219,50 @@ impl SessionCatalog {
         .map(|(report, _)| report)
     }
 
+    /// Executes an admitted query as a windowed ingestion stream
+    /// against the cached setup (`INGEST`/`CLOSE` session mode).
+    ///
+    /// The arrival schedule is derived from the same per-query seed as
+    /// the executor's randomness, so a streamed query is as much a pure
+    /// function of `(catalog seed, analyst, seq)` as a batch one: which
+    /// devices arrive or churn in which window never depends on
+    /// scheduling. The epoch is charged to the ledgers exactly once at
+    /// admission — windows are ingestion steps, not queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError`] on protocol failures, including the
+    /// typed `NoSurvivors` refusal when churn removes every upload.
+    pub fn execute_stream(
+        &self,
+        prepared: &CachedPlan,
+        analyst: &str,
+        seq: u64,
+        budget_before: PrivacyCost,
+        windows: usize,
+        pool: Option<&ShardedPool>,
+    ) -> Result<StreamReport, StreamError> {
+        let cfg = ExecutionConfig {
+            seed: self.query_seed(analyst, seq),
+            budget: budget_before,
+            ..self.config.base.clone()
+        };
+        let schedule = ArrivalSchedule::derive(cfg.seed, self.deployment.db.len(), windows.max(1));
+        let mut ex = StreamExecutor::new(
+            &prepared.plan,
+            &prepared.logical,
+            &self.deployment,
+            &cfg,
+            &self.setup,
+            &schedule,
+            pool,
+        )?;
+        for _ in 0..schedule.n_windows {
+            ex.ingest_next(None)?;
+        }
+        ex.close()
+    }
+
     /// Executes an arbitrary plan against the cached setup under an
     /// explicit [`ExecutionConfig`] and optional adversary — the
     /// low-level entry point the adversary harness drives.
@@ -279,6 +324,38 @@ mod tests {
         );
         // The setup itself did record the fixed cost, exactly once.
         assert!(!catalog.setup().counters.is_zero());
+    }
+
+    #[test]
+    fn streamed_queries_amortize_setup_and_run_every_window() {
+        let mut catalog = SessionCatalog::new(deployment(), CatalogConfig::default()).unwrap();
+        catalog
+            .open_analyst("alice", PrivacyCost::pure(5.0))
+            .unwrap();
+        let prepared = catalog.prepare(SRC).unwrap();
+        let before = catalog.book().analyst("alice").unwrap().remaining();
+        catalog
+            .admit("alice", prepared.logical.certificate.cost)
+            .unwrap();
+        let stream = catalog
+            .execute_stream(&prepared, "alice", 0, before, 3, None)
+            .unwrap();
+        assert_eq!(stream.checkpoints.len(), 3);
+        assert!(stream.detections.is_empty());
+        assert!(
+            stream.report.setup.is_zero(),
+            "streamed windows must not re-pay sortition/keygen"
+        );
+        // The schedule is a pure function of the query seed: replaying
+        // the same (analyst, seq) reproduces the epoch bitwise.
+        let replay = catalog
+            .execute_stream(&prepared, "alice", 0, before, 3, None)
+            .unwrap();
+        assert_eq!(stream.report.outputs, replay.report.outputs);
+        assert_eq!(
+            stream.checkpoints.last().unwrap().accumulator_digest,
+            replay.checkpoints.last().unwrap().accumulator_digest
+        );
     }
 
     #[test]

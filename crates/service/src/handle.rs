@@ -17,7 +17,7 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 use crate::catalog::{CatalogConfig, SessionCatalog};
-use crate::scheduler::{Admission, SchedulerState};
+use crate::scheduler::{Admission, SchedulerState, StreamSummary};
 use crate::session::{AuditRecord, QueryId, ServiceError};
 
 /// Configuration of a running service.
@@ -67,6 +67,7 @@ impl ServiceHandle {
             queue_cv: Condvar::new(),
             results: Mutex::new(BTreeMap::new()),
             results_cv: Condvar::new(),
+            streams: Mutex::new(BTreeMap::new()),
             pools: PoolBank::new(
                 config.pool_capacity.max(1),
                 par.resolve(),
@@ -130,6 +131,71 @@ impl ServiceHandle {
     pub fn run(&self, analyst: &str, source: &str) -> Result<ExecutionReport, ServiceError> {
         let id = self.submit(analyst, source)?;
         self.wait(id)
+    }
+
+    /// Submits a query as a windowed ingestion stream (`INGEST` mode):
+    /// admission — plan cache, all-or-nothing ledger charge, id
+    /// assignment — is identical to [`Self::submit`] and charges the
+    /// epoch exactly once; execution then folds `windows` checkpointed
+    /// windows of derived device arrivals before decrypting at epoch
+    /// close.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed refusal with every ledger bitwise unchanged.
+    pub fn submit_stream(
+        &self,
+        analyst: &str,
+        source: &str,
+        windows: usize,
+    ) -> Result<QueryId, ServiceError> {
+        self.state
+            .submit_with_windows(analyst, source, Some(windows.max(1)))
+    }
+
+    /// Blocks until a streamed query finishes (`CLOSE` mode) and
+    /// returns its report plus the per-window summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownQuery`] for an id that was never
+    /// admitted as a stream, or the execution's own error.
+    pub fn close_stream(
+        &self,
+        id: QueryId,
+    ) -> Result<(ExecutionReport, StreamSummary), ServiceError> {
+        let report = self.wait(id)?;
+        let summary = self
+            .stream_summary(id)
+            .ok_or(ServiceError::UnknownQuery(id.0))?;
+        Ok((report, summary))
+    }
+
+    /// Submits a streamed query and blocks for its close: the
+    /// synchronous convenience path for `INGEST` + `CLOSE`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::submit_stream`] and [`Self::close_stream`].
+    pub fn run_stream(
+        &self,
+        analyst: &str,
+        source: &str,
+        windows: usize,
+    ) -> Result<(ExecutionReport, StreamSummary), ServiceError> {
+        let id = self.submit_stream(analyst, source, windows)?;
+        self.close_stream(id)
+    }
+
+    /// The per-window summary of a finished streamed query, if `id`
+    /// was admitted via [`Self::submit_stream`] and has completed.
+    pub fn stream_summary(&self, id: QueryId) -> Option<StreamSummary> {
+        self.state
+            .streams
+            .lock()
+            .expect("streams lock poisoned")
+            .get(&id.0)
+            .cloned()
     }
 
     /// The admission audit log, in submission order.

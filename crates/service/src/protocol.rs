@@ -9,6 +9,10 @@
 //! SUBMIT <analyst> <program...>         admit a query, reply OK id=<n>
 //! WAIT <id>                             block for a result
 //! RUN <analyst> <program...>            SUBMIT + WAIT in one round trip
+//! INGEST <analyst> <windows> <program>  admit a windowed streaming
+//!                                       query, reply OK id=<n> windows=<w>
+//! CLOSE <id>                            block for a streamed result
+//!                                       (report + per-window fields)
 //! STATUS                                service counters
 //! QUIT                                  close the connection
 //! ```
@@ -66,6 +70,8 @@ fn respond(handle: &ServiceHandle, line: &str) -> Response {
         "SUBMIT" => submit(handle, rest),
         "WAIT" => wait(handle, rest),
         "RUN" => run(handle, rest),
+        "INGEST" => ingest(handle, rest),
+        "CLOSE" => close(handle, rest),
         "STATUS" => status(handle),
         "QUIT" => return Response::Quit("OK bye".to_string()),
         other => format!("ERR unknown command {other:?}"),
@@ -111,6 +117,49 @@ fn run(handle: &ServiceHandle, rest: &str) -> String {
     };
     match handle.submit(analyst, source.trim()) {
         Ok(id) => report_line(handle, id),
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+fn ingest(handle: &ServiceHandle, rest: &str) -> String {
+    const USAGE: &str = "ERR usage: INGEST <analyst> <windows> <program>";
+    let Some((analyst, rest)) = rest.split_once(char::is_whitespace) else {
+        return USAGE.to_string();
+    };
+    let Some((windows, source)) = rest.trim().split_once(char::is_whitespace) else {
+        return USAGE.to_string();
+    };
+    let Ok(windows) = windows.parse::<usize>() else {
+        return "ERR windows must be a positive integer".to_string();
+    };
+    if windows == 0 {
+        return "ERR windows must be a positive integer".to_string();
+    }
+    match handle.submit_stream(analyst, source.trim(), windows) {
+        Ok(id) => format!("OK id={} windows={windows}", id.0),
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+fn close(handle: &ServiceHandle, rest: &str) -> String {
+    let Ok(id) = rest.trim().parse::<u64>() else {
+        return "ERR usage: CLOSE <id>".to_string();
+    };
+    let id = QueryId(id);
+    match handle.wait(id) {
+        Ok(report) => match handle.stream_summary(id) {
+            Some(s) => format!(
+                "OK id={} outputs={:?} budget_epsilon={} setup_amortized={} windows={} accepted={} rejected={}",
+                id.0,
+                report.outputs,
+                report.budget_after.epsilon,
+                report.setup.is_zero(),
+                s.windows,
+                s.accepted,
+                s.rejected,
+            ),
+            None => format!("ERR query id {} is not a streaming session", id.0),
+        },
         Err(e) => format!("ERR {e}"),
     }
 }
@@ -181,6 +230,34 @@ ignored after quit
         assert!(lines[3].starts_with("OK id=1 outputs="));
         assert!(lines[4].contains("plan_hits=1 plan_misses=1"));
         assert_eq!(lines[5], "OK bye");
+    }
+
+    #[test]
+    fn streaming_session_over_the_wire() {
+        let handle = service();
+        let script = "\
+OPEN alice 5.0 1e-6
+INGEST alice 3 aggr = sum(db); r = em(aggr, 1.0); output(r);
+CLOSE 0
+SUBMIT alice aggr = sum(db); r = em(aggr, 1.0); output(r);
+CLOSE 1
+INGEST alice 0 aggr = sum(db); r = em(aggr, 1.0); output(r);
+QUIT
+";
+        let mut out = Vec::new();
+        serve_connection(&handle, script.as_bytes(), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 7, "one response per request: {out}");
+        assert!(lines[0].starts_with("OK opened alice"));
+        assert_eq!(lines[1], "OK id=0 windows=3");
+        assert!(lines[2].starts_with("OK id=0 outputs="), "{}", lines[2]);
+        assert!(lines[2].contains("setup_amortized=true"), "{}", lines[2]);
+        assert!(lines[2].contains("windows=3"), "{}", lines[2]);
+        assert_eq!(lines[3], "OK id=1");
+        assert_eq!(lines[4], "ERR query id 1 is not a streaming session");
+        assert_eq!(lines[5], "ERR windows must be a positive integer");
+        assert_eq!(lines[6], "OK bye");
     }
 
     #[test]

@@ -34,6 +34,25 @@ pub(crate) struct Job {
     pub prepared: Arc<CachedPlan>,
     /// The analyst's remaining budget at admission, before the charge.
     pub budget_before: PrivacyCost,
+    /// `Some(w)` for a streaming (`INGEST`/`CLOSE`) query: execute as
+    /// `w` checkpointed ingestion windows instead of one batch.
+    pub windows: Option<usize>,
+}
+
+/// Summary of a finished streaming query, alongside its
+/// [`ExecutionReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Ingestion windows the epoch ran.
+    pub windows: usize,
+    /// Uploads accepted across all windows.
+    pub accepted: usize,
+    /// Uploads rejected across all windows.
+    pub rejected: usize,
+    /// Accepted uploads per window, in window order.
+    pub window_accepted: Vec<usize>,
+    /// The final accumulator digest, if any window folded uploads.
+    pub final_digest: Option<[u8; 32]>,
 }
 
 /// Admission bookkeeping, guarded by one mutex so the admission
@@ -54,6 +73,9 @@ pub(crate) struct SchedulerState {
     pub queue_cv: Condvar,
     pub results: Mutex<BTreeMap<u64, Result<ExecutionReport, ServiceError>>>,
     pub results_cv: Condvar,
+    /// Stream summaries, keyed by query id; populated (under the
+    /// results lock) before the result is published.
+    pub streams: Mutex<BTreeMap<u64, StreamSummary>>,
     pub pools: PoolBank,
     /// Zero workers: execute inline at submit time (the serial
     /// reference mode).
@@ -67,6 +89,18 @@ impl SchedulerState {
     /// audit record — all under the admission lock. Returns the job to
     /// run, or the typed refusal.
     pub fn submit(self: &Arc<Self>, analyst: &str, source: &str) -> Result<QueryId, ServiceError> {
+        self.submit_with_windows(analyst, source, None)
+    }
+
+    /// [`Self::submit`] with an optional streaming window count; the
+    /// admission path (and thus the ledger/audit behavior) is identical
+    /// for batch and streamed queries — the epoch is charged once.
+    pub fn submit_with_windows(
+        self: &Arc<Self>,
+        analyst: &str,
+        source: &str,
+        windows: Option<usize>,
+    ) -> Result<QueryId, ServiceError> {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(ServiceError::ShutDown);
         }
@@ -127,6 +161,7 @@ impl SchedulerState {
                         seq,
                         prepared,
                         budget_before,
+                        windows,
                     }
                 }
             }
@@ -144,20 +179,59 @@ impl SchedulerState {
 
     /// Runs one admitted job on a leased pool and publishes its result.
     pub fn execute_job(&self, job: Job) {
-        let result = {
+        let (result, summary) = {
             let lease = self.pools.checkout();
             let catalog = self.catalog.read().expect("catalog lock poisoned");
-            catalog
-                .execute(
+            match job.windows {
+                None => (
+                    catalog
+                        .execute(
+                            &job.prepared,
+                            &job.analyst,
+                            job.seq,
+                            job.budget_before,
+                            Some(&lease),
+                        )
+                        .map_err(ServiceError::Exec),
+                    None,
+                ),
+                Some(windows) => match catalog.execute_stream(
                     &job.prepared,
                     &job.analyst,
                     job.seq,
                     job.budget_before,
+                    windows,
                     Some(&lease),
-                )
-                .map_err(ServiceError::Exec)
+                ) {
+                    Ok(stream) => {
+                        let summary = StreamSummary {
+                            windows: stream.checkpoints.len(),
+                            accepted: stream.report.accepted_inputs,
+                            rejected: stream.report.rejected_inputs,
+                            window_accepted: stream
+                                .checkpoints
+                                .iter()
+                                .map(|c| c.accepted)
+                                .collect(),
+                            final_digest: stream
+                                .checkpoints
+                                .iter()
+                                .rev()
+                                .find_map(|c| c.accumulator_digest),
+                        };
+                        (Ok(stream.report), Some(summary))
+                    }
+                    Err(e) => (Err(ServiceError::Stream(e)), None),
+                },
+            }
         };
         let mut results = self.results.lock().expect("results lock poisoned");
+        if let Some(summary) = summary {
+            self.streams
+                .lock()
+                .expect("streams lock poisoned")
+                .insert(job.id.0, summary);
+        }
         results.insert(job.id.0, result);
         self.results_cv.notify_all();
     }

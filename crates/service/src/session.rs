@@ -4,6 +4,7 @@
 use arboretum_crypto::sha256::sha256;
 use arboretum_dp::budget::{LedgerBookError, PrivacyCost};
 use arboretum_runtime::executor::ExecError;
+use arboretum_runtime::stream::StreamError;
 
 /// A stable seed tag for an analyst name: the first 8 big-endian bytes
 /// of `sha256(name)`.
@@ -37,6 +38,8 @@ pub enum ServiceError {
     Plan(String),
     /// The runtime failed executing an admitted query.
     Exec(ExecError),
+    /// The runtime failed executing an admitted streaming query.
+    Stream(StreamError),
     /// No analyst session is open under that name.
     UnknownAnalyst(String),
     /// No such query id was ever admitted.
@@ -51,6 +54,7 @@ impl std::fmt::Display for ServiceError {
             Self::Ledger(e) => write!(f, "budget: {e}"),
             Self::Plan(e) => write!(f, "plan: {e}"),
             Self::Exec(e) => write!(f, "execution: {e}"),
+            Self::Stream(e) => write!(f, "stream: {e}"),
             Self::UnknownAnalyst(a) => write!(f, "no session open for analyst {a:?}"),
             Self::UnknownQuery(id) => write!(f, "unknown query id {id}"),
             Self::ShutDown => write!(f, "service is shutting down"),
@@ -69,6 +73,12 @@ impl From<LedgerBookError> for ServiceError {
 impl From<ExecError> for ServiceError {
     fn from(e: ExecError) -> Self {
         Self::Exec(e)
+    }
+}
+
+impl From<StreamError> for ServiceError {
+    fn from(e: StreamError) -> Self {
+        Self::Stream(e)
     }
 }
 

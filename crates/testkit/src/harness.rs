@@ -172,7 +172,7 @@ impl AttackOutcome {
 }
 
 /// Builds the deployment plus certified and planned query for a config.
-fn build_query(cfg: &AttackConfig) -> Result<(Deployment, LogicalPlan, Plan), String> {
+pub(crate) fn build_query(cfg: &AttackConfig) -> Result<(Deployment, LogicalPlan, Plan), String> {
     let (deployment, src, certify) = if cfg.numeric {
         let rows: Vec<Vec<i64>> = (0..cfg.n_devices)
             .map(|i| vec![(i % 7) as i64, NUMERIC_HI])

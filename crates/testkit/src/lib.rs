@@ -28,6 +28,7 @@ pub mod adaptive;
 pub mod forgery;
 pub mod harness;
 pub mod schedule;
+pub mod stream;
 
 pub use adaptive::{AdaptiveSchedule, Decision, RealizedSchedule, TranscriptAccumulator};
 pub use forgery::{forgery_plan, run_forgery_sweep, Corruption, ForgeryPlan};
@@ -36,3 +37,7 @@ pub use harness::{
     AttackOutcome,
 };
 pub use schedule::{AdversarySchedule, NetFault};
+pub use stream::{
+    dump_stream_failure_artifact, run_stream_attack, StreamAttackConfig, StreamAttackOutcome,
+    StreamAttackSchedule,
+};

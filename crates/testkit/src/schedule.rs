@@ -100,7 +100,7 @@ pub struct AdversarySchedule {
 }
 
 /// One deterministic 64-bit draw: SHA-256 over `(seed, domain, index)`.
-fn draw(seed: u64, domain: &[u8], index: u64) -> u64 {
+pub(crate) fn draw(seed: u64, domain: &[u8], index: u64) -> u64 {
     let mut bytes = seed.to_be_bytes().to_vec();
     bytes.extend_from_slice(domain);
     bytes.extend_from_slice(&index.to_be_bytes());
@@ -108,7 +108,7 @@ fn draw(seed: u64, domain: &[u8], index: u64) -> u64 {
     u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]])
 }
 
-fn device_catalog(r: u64) -> DeviceBehavior {
+pub(crate) fn device_catalog(r: u64) -> DeviceBehavior {
     match r % 5 {
         0 => DeviceBehavior::TamperSigmaProof,
         1 => DeviceBehavior::MalformedOneHot,

@@ -5,11 +5,12 @@
 //! the `ServiceHandle` API: the session catalog pays the fixed
 //! sortition + BGV-keygen cost exactly once at startup, so every query
 //! in the analyst's monthly stream reports **zero** setup op counts
-//! (the amortization story of §5); the per-analyst privacy-budget
-//! ledger carries across queries and eventually refuses service with a
-//! typed error; the plan cache answers the repeated monthly query
-//! without re-planning; and committee churn is handled by task
-//! reassignment.
+//! (the amortization story of §5); each month ingests its uploads in
+//! weekly streaming windows (`run_stream`) yet charges the privacy
+//! ledger once per epoch, not once per window; the ledger carries
+//! across months and eventually refuses service with a typed error;
+//! the plan cache answers the repeated monthly query without
+//! re-planning; and committee churn is handled by task reassignment.
 //!
 //! Run with: `cargo run --example longitudinal_study`
 
@@ -74,23 +75,44 @@ fn main() {
         )
         .expect("session opens");
 
-    println!("monthly top-1 under a total budget of epsilon = 7.0:\n");
+    // Each month the cohort's uploads arrive over four weekly windows.
+    // The streamed epoch folds each window into a checkpointed
+    // accumulator and decrypts once at close — same outputs, same
+    // single budget charge as a one-shot month.
+    let weekly_windows = 4;
+    println!(
+        "monthly top-1 under a total budget of epsilon = 7.0, \
+         ingested in {weekly_windows} weekly windows per month:\n"
+    );
     let mut month = 1u64;
     let mut winners = Vec::new();
+    let mut budget_left = service.ledger("analyst").expect("open").remaining().epsilon;
     loop {
-        match service.run("analyst", monthly) {
-            Ok(report) => {
+        match service.run_stream("analyst", monthly, weekly_windows) {
+            Ok((report, summary)) => {
                 // Every service query runs against the cached setup:
-                // zero additional sortition/keygen work, by op count.
+                // zero additional sortition/keygen work, by op count —
+                // streamed epochs included.
                 assert!(
                     report.setup.is_zero(),
                     "month {month} re-paid setup: {:?}",
                     report.setup
                 );
+                assert_eq!(summary.windows, weekly_windows);
+                // The epoch is charged once at stream open, not per
+                // window: exactly one ledger debit per month.
+                let now_left = service.ledger("analyst").expect("open").remaining().epsilon;
+                assert!(
+                    now_left < budget_left,
+                    "month {month} did not charge the ledger"
+                );
+                budget_left = now_left;
                 println!(
-                    "month {month}: winner = category {}, budget left = {:.2}, setup ops = 0 (amortized)",
+                    "month {month}: winner = category {}, weekly arrivals = {:?} ({} accepted), budget left = {:.2}, setup ops = 0 (amortized)",
                     report.outputs[0],
-                    service.ledger("analyst").expect("open").remaining().epsilon,
+                    summary.window_accepted,
+                    summary.accepted,
+                    budget_left,
                 );
                 winners.push(report.outputs[0]);
             }
